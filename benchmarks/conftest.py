@@ -1,0 +1,32 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Each benchmark file regenerates one paper figure or table: it runs the
+experiment grid (quick subsample by default, full grid with
+``REPRO_FULL=1``), prints the same series the paper plots, and times one
+representative simulation point through pytest-benchmark.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_and_report(benchmark, experiment_fn, point_fn):
+    """Run the full experiment, print its table, and benchmark one point.
+
+    ``point_fn`` is a single representative simulation (kept small) that
+    pytest-benchmark times; ``experiment_fn`` regenerates the figure.
+    The formatted table is also written to ``benchmarks/results/`` so it
+    survives pytest's output capturing.
+    """
+    result = experiment_fn()
+    print()
+    print(result.format())
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "-", result.name.lower()).strip("-")[:60]
+    (RESULTS_DIR / f"{slug}.txt").write_text(result.format() + "\n")
+    benchmark.pedantic(point_fn, rounds=1, iterations=1)
+    return result

@@ -1,0 +1,43 @@
+"""Ablation: conflict-avoidance parameters (γ watermarks, t_M ceiling).
+
+§4.3 fixes γ_H = 0.5, γ_L = 0.1 and t_M = 2^10 x t0.  This bench checks
+the neighbourhood: a tiny t_M (backoff barely grows) and an enormous t_M
+(holders over-sleep) should both do no better than the default under
+heavy skew.
+"""
+
+from repro.bench.report import format_table
+from repro.bench.runner import run_hashtable
+from repro.core.features import full
+from repro.workloads.ycsb import UPDATE_ONLY
+
+
+def run_point(max_exponent, threads=48):
+    features = full().with_overrides(
+        backoff_max_exponent=max_exponent, coroutine_throttling=False
+    )
+    result = run_hashtable(
+        "smart-ht", UPDATE_ONLY, threads=threads, item_count=50_000,
+        features=features, warmup_ns=2.0e6, measure_ns=3.0e6,
+    )
+    return result.throughput_mops, result.avg_retries
+
+
+def test_backoff_ceiling_sweep(benchmark):
+    exponents = (2, 10, 16)
+    rows = []
+    for exponent in exponents[:-1]:
+        mops, retries = run_point(exponent)
+        rows.append([f"2^{exponent}", mops, retries])
+    mops, retries = benchmark.pedantic(
+        lambda: run_point(exponents[-1]), rounds=1, iterations=1
+    )
+    rows.append([f"2^{exponents[-1]}", mops, retries])
+    print()
+    print(format_table(
+        ["t_M/t0", "MOPS", "avg_retries"], rows,
+        title="backoff-ceiling ablation (100% updates, 48 threads)",
+    ))
+    # A too-small ceiling leaves many more failed retries than the
+    # paper's 2^10 default.
+    assert rows[0][2] > rows[1][2]

@@ -1,0 +1,31 @@
+"""Ablation: Sherman's hierarchical on-chip locks (HOPL).
+
+Not a paper figure, but a design choice DESIGN.md calls out: with HOPL's
+local hand-over queues disabled, every lock acquisition is a remote CAS
+spin — the exact §3.3 pathology.  Expectation: under skewed writes, HOPL
+sustains higher throughput and far fewer remote lock messages.
+"""
+
+from repro.bench.runner import run_btree
+from repro.workloads.ycsb import UPDATE_ONLY
+
+
+def run_point(hopl):
+    return run_btree(
+        "smart-bt", UPDATE_ONLY, threads=16, coroutines=8,
+        item_count=20_000, warmup_ns=1.0e6, measure_ns=2.0e6, hopl=hopl,
+    )
+
+
+def test_hopl_ablation(benchmark):
+    with_hopl = run_point(True)
+    without = benchmark.pedantic(lambda: run_point(False), rounds=1, iterations=1)
+    print()
+    print("HOPL ablation (update-only, theta=0.99, 16 threads x 8 coroutines)")
+    print(f"  with HOPL:    {with_hopl.throughput_mops:6.2f} MOPS, "
+          f"{with_hopl.avg_retries:.2f} retries/op")
+    print(f"  without HOPL: {without.throughput_mops:6.2f} MOPS, "
+          f"{without.avg_retries:.2f} retries/op")
+    assert with_hopl.throughput_mops > without.throughput_mops
+    # Without local hand-over, failed remote CAS attempts pile up.
+    assert without.avg_retries >= with_hopl.avg_retries

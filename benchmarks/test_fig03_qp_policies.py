@@ -1,0 +1,34 @@
+"""Figure 3: READ/WRITE throughput under the four QP allocation policies."""
+
+from conftest import run_and_report
+
+from repro.bench.experiments import fig3_qp_policies
+from repro.bench.microbench import run_microbench
+
+
+def test_fig3_read(benchmark):
+    result = run_and_report(
+        benchmark,
+        fig3_qp_policies,
+        lambda: run_microbench(policy="per-thread-db", threads=96, depth=8,
+                               measure_ns=0.5e6),
+    )
+    by_policy = {h: result.series(h) for h in result.headers[1:]}
+    threads = result.series("threads")
+    at96 = threads.index(96)
+    # Shape assertions from the paper's text.
+    assert by_policy["per-thread-db"][at96] > by_policy["per-thread-qp"][at96] * 1.5
+    assert by_policy["per-thread-db"][at96] > by_policy["shared-qp"][at96] * 20
+    assert max(by_policy["per-thread-db"]) >= 100.0  # hardware limit reached
+
+
+def test_fig3_write(benchmark):
+    result = run_and_report(
+        benchmark,
+        lambda: fig3_qp_policies(threads=(8, 48, 96), op="write"),
+        lambda: run_microbench(policy="per-thread-db", threads=96, depth=8,
+                               op="write", measure_ns=0.5e6),
+    )
+    db = result.series("per-thread-db")
+    qp = result.series("per-thread-qp")
+    assert db[-1] > qp[-1]

@@ -1,0 +1,23 @@
+"""Figure 4: WQE-cache thrashing — throughput and DRAM traffic vs OWRs."""
+
+from conftest import run_and_report
+
+from repro.bench.experiments import fig4_cache_thrashing
+from repro.bench.microbench import run_microbench
+
+
+def test_fig4(benchmark):
+    result = run_and_report(
+        benchmark,
+        fig4_cache_thrashing,
+        lambda: run_microbench(policy="per-thread-db", threads=96, depth=32,
+                               measure_ns=0.5e6),
+    )
+    rows = {(r[0], r[1]): r for r in result.rows}
+    deep = rows[(96, 32)]
+    shallow = rows[(96, 8)]
+    # 96x32 loses roughly half its throughput to WQE-cache misses...
+    assert deep[3] < shallow[3] * 0.65
+    # ...and its DRAM traffic per WR grows markedly (93 -> ~180 B in the paper).
+    assert deep[4] > shallow[4] * 1.5
+    assert abs(shallow[4] - 93.0) < 5.0

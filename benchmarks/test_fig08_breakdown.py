@@ -1,0 +1,36 @@
+"""Figure 8: which SMART technique buys what, per workload."""
+
+from conftest import run_and_report
+
+from repro.bench.experiments import fig8_breakdown
+from repro.bench.runner import run_hashtable
+from repro.core.features import cumulative_ladder
+from repro.workloads.ycsb import READ_ONLY
+
+
+def test_fig8(benchmark):
+    result = run_and_report(
+        benchmark,
+        fig8_breakdown,
+        lambda: run_hashtable(
+            "smart-ht", READ_ONLY, threads=48, item_count=50_000,
+            features=cumulative_ladder()[1][1], measure_ns=1.0e6,
+        ),
+    )
+    rows = {(r[0], r[1], r[2]): r[3] for r in result.rows}
+    top = max(r[1] for r in result.rows)
+
+    # Read-only at high threads: ThdResAlloc is the dominant technique.
+    assert (
+        rows[("read-only", top, "+ThdResAlloc")]
+        > rows[("read-only", top, "baseline")] * 1.5
+    )
+    # Write-heavy at high threads: ConflictAvoid on top of the others wins.
+    assert (
+        rows[("write-heavy", top, "+ConflictAvoid")]
+        > rows[("write-heavy", top, "baseline")]
+    )
+    assert (
+        rows[("write-heavy", top, "+ConflictAvoid")]
+        >= rows[("write-heavy", top, "+WorkReqThrot")]
+    )

@@ -1,0 +1,38 @@
+"""Figure 9: hash table throughput vs latency at 96 threads."""
+
+from conftest import run_and_report
+
+from repro.bench.experiments import fig9_ht_latency
+from repro.bench.runner import run_hashtable
+from repro.workloads.ycsb import READ_ONLY
+
+
+def test_fig9(benchmark):
+    result = run_and_report(
+        benchmark,
+        fig9_ht_latency,
+        lambda: run_hashtable("smart-ht", READ_ONLY, threads=96,
+                              item_count=50_000, measure_ns=1.0e6),
+    )
+    by_system = {}
+    for system, gap, mops, p50, p99 in result.rows:
+        by_system.setdefault(system, []).append((gap, mops, p50, p99))
+
+    # SMART-HT reaches higher maximum throughput...
+    race_peak = max(m for _, m, _, _ in by_system["race"])
+    smart_peak = max(m for _, m, _, _ in by_system["smart-ht"])
+    assert smart_peak > race_peak
+    # ...with far lower *tail* latency at full load (RACE's median is
+    # bimodal: the 4 low-latency-doorbell threads answer fast while the
+    # rest crawl, so the paper-relevant comparison is p99 and
+    # latency-at-matched-throughput).
+    race_full = next(r for r in by_system["race"] if r[0] == 0.0)
+    smart_full = next(r for r in by_system["smart-ht"] if r[0] == 0.0)
+    assert smart_full[3] < race_full[3] * 0.5  # p99
+    # At a throttled operating point, SMART-HT matches RACE's median
+    # while carrying a multiple of its throughput.
+    throttled = [r for r in by_system["smart-ht"] if r[0] > 0.0]
+    assert any(
+        m > race_peak and p50 < race_full[2] * 1.5
+        for _, m, p50, _ in throttled
+    ), throttled

@@ -1,0 +1,28 @@
+"""Figure 10: FORD+ vs SMART-DTX transaction throughput."""
+
+from conftest import run_and_report
+
+from repro.bench.experiments import fig10_dtx
+from repro.bench.runner import run_dtx
+
+
+def test_fig10(benchmark):
+    result = run_and_report(
+        benchmark,
+        fig10_dtx,
+        lambda: run_dtx("smart-dtx", "smallbank", threads=8,
+                        item_count=10_000, measure_ns=1.0e6),
+    )
+    rows = {(r[0], r[1], r[2]): r[3] for r in result.rows}
+    threads = sorted({r[2] for r in result.rows})
+    top = threads[-1]
+
+    for benchmark_name in ("smallbank", "tatp"):
+        ford_top = rows[(benchmark_name, "ford", top)]
+        smart_top = rows[(benchmark_name, "smart-dtx", top)]
+        # SMART-DTX wins decisively at high thread counts (5.2x/2.6x in
+        # the paper).
+        assert smart_top > ford_top * 1.5, (benchmark_name, ford_top, smart_top)
+        # FORD+ degrades from its peak; SMART-DTX does not collapse.
+        ford_series = [rows[(benchmark_name, "ford", t)] for t in threads]
+        assert ford_series[-1] < max(ford_series)

@@ -1,0 +1,36 @@
+"""Figure 11: transaction throughput vs median latency."""
+
+from conftest import run_and_report
+
+from repro.bench.experiments import fig11_dtx_latency
+from repro.bench.runner import run_dtx
+
+
+def test_fig11(benchmark):
+    result = run_and_report(
+        benchmark,
+        fig11_dtx_latency,
+        lambda: run_dtx("smart-dtx", "tatp", threads=96,
+                        item_count=10_000, measure_ns=1.0e6),
+    )
+    by_key = {}
+    for bench_name, system, gap, mops, p50 in result.rows:
+        by_key.setdefault((bench_name, system), []).append((gap, mops, p50))
+
+    for bench_name in ("smallbank", "tatp"):
+        ford_full = next(r for r in by_key[(bench_name, "ford")] if r[0] == 0.0)
+        smart_full = next(r for r in by_key[(bench_name, "smart-dtx")] if r[0] == 0.0)
+        # At full load (96 threads) SMART-DTX delivers more commits...
+        assert smart_full[1] > ford_full[1]
+        # ...and at the matched (throttled) operating point it wins on
+        # both axes — the paper's "median latency down to 28.9% of FORD"
+        # comparison is at matched load.
+        biggest_gap = max(r[0] for r in by_key[(bench_name, "ford")])
+        ford_matched = next(
+            r for r in by_key[(bench_name, "ford")] if r[0] == biggest_gap
+        )
+        smart_matched = next(
+            r for r in by_key[(bench_name, "smart-dtx")] if r[0] == biggest_gap
+        )
+        assert smart_matched[1] > ford_matched[1], bench_name
+        assert smart_matched[2] < ford_matched[2], bench_name

@@ -1,0 +1,34 @@
+"""Figure 12: Sherman+ vs Sherman+ w/SL vs SMART-BT."""
+
+from conftest import run_and_report
+
+from repro.bench.experiments import fig12_btree
+from repro.bench.runner import run_btree
+from repro.workloads.ycsb import READ_ONLY
+
+
+def test_fig12(benchmark):
+    result = run_and_report(
+        benchmark,
+        fig12_btree,
+        lambda: run_btree("smart-bt", READ_ONLY, threads=16,
+                          item_count=20_000, measure_ns=1.0e6),
+    )
+    rows = {(r[0], r[1], r[2], r[3]): r[5] for r in result.rows}
+    threads = sorted({r[3] for r in result.rows if r[0] == "scale-up"})
+    top = threads[-1]
+
+    # Read-only at high threads: SMART-BT >= 2x Sherman+ (paper: 2.0x).
+    sherman = rows[("scale-up", "read-only", "sherman", top)]
+    smart = rows[("scale-up", "read-only", "smart-bt", top)]
+    assert smart > sherman * 2
+
+    # SL alone does not fix the collapse at high threads (paper: 16.3
+    # MOPS at 94 threads, doorbell-bound).
+    sl = rows[("scale-up", "read-only", "sherman-sl", top)]
+    assert smart > sl * 1.5
+
+    # Write-heavy is much closer (HOPL already minimizes lock traffic).
+    sherman_wh = rows[("scale-up", "write-heavy", "sherman", top)]
+    smart_wh = rows[("scale-up", "write-heavy", "smart-bt", top)]
+    assert smart_wh >= sherman_wh * 0.8

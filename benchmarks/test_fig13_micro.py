@@ -1,0 +1,29 @@
+"""Figure 13: thread-aware allocation and throttling micro-benchmarks."""
+
+from conftest import run_and_report
+
+from repro.bench.experiments import fig13_micro
+from repro.bench.microbench import run_microbench
+
+
+def test_fig13(benchmark):
+    result = run_and_report(
+        benchmark,
+        fig13_micro,
+        lambda: run_microbench(policy="smart", threads=96, depth=16,
+                               measure_ns=0.5e6),
+    )
+    thread_rows = [r for r in result.rows if r[0] == "threads"]
+    batch_rows = [r for r in result.rows if r[0] == "batch"]
+    cols = {name: result.headers.index(name) for name in result.headers}
+
+    top = max(r[1] for r in thread_rows)
+    at_top = next(r for r in thread_rows if r[1] == top)
+    # (a) at high thread counts SMART beats per-thread QP and context.
+    assert at_top[cols["smart"]] > at_top[cols["per-thread-qp"]]
+    assert at_top[cols["smart"]] > at_top[cols["per-thread-context"]]
+
+    # (b) with large batches, throttling wins over raw per-thread DB.
+    big_batch = max(r[2] for r in batch_rows)
+    at_big = next(r for r in batch_rows if r[2] == big_batch)
+    assert at_big[cols["smart"]] > at_big[cols["per-thread-db"]] * 1.5

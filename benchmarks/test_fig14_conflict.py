@@ -1,0 +1,28 @@
+"""Figure 14: conflict avoidance under 100% skewed updates."""
+
+from conftest import run_and_report
+
+from repro.bench.experiments import fig14_conflict
+from repro.bench.runner import run_hashtable
+from repro.workloads.ycsb import UPDATE_ONLY
+
+
+def test_fig14(benchmark):
+    result = run_and_report(
+        benchmark,
+        fig14_conflict,
+        lambda: run_hashtable("smart-ht", UPDATE_ONLY, threads=48,
+                              item_count=50_000, measure_ns=1.0e6),
+    )
+    rows = {(r[0], r[1]): (r[2], r[3]) for r in result.rows}
+    top = max(r[0] for r in result.rows)
+
+    none_mops, none_retries = rows[(top, "none")]
+    backoff_mops, backoff_retries = rows[(top, "+Backoff")]
+    all_mops, all_retries = rows[(top, "+CoroThrot")]
+
+    # Backoff slashes the average retry count (11.5 -> ~1.1 in the paper).
+    assert backoff_retries < none_retries * 0.6
+    assert all_retries < 2.0
+    # The full ladder beats no conflict avoidance at high thread counts.
+    assert all_mops > none_mops

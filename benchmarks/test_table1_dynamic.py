@@ -1,0 +1,29 @@
+"""Table 1: adaptive throttling under a dynamically changing workload."""
+
+from conftest import run_and_report
+
+from repro.bench.experiments import table1_dynamic
+from repro.bench.microbench import run_dynamic_microbench
+from repro.bench.runner import bench_features
+from repro.core.features import full
+
+
+def test_table1(benchmark):
+    features = bench_features(
+        full().with_overrides(
+            backoff=False, dynamic_backoff_limit=False, coroutine_throttling=False
+        )
+    )
+    result = run_and_report(
+        benchmark,
+        table1_dynamic,
+        lambda: run_dynamic_microbench(
+            5e6, throttled=True, features=features, total_ns=12e6
+        ),
+    )
+    for interval_ms, ratio, off, on in result.rows:
+        # Throttling wins at every changing interval (the paper's claim).
+        assert on > off, (interval_ms, off, on)
+    slow = result.rows[-1]
+    # Slow changes (interval > epoch) run near the 110 MOPS maximum.
+    assert slow[3] > 80.0

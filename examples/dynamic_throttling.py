@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Watch Algorithm 1 at work: the C_max search under a changing workload.
+
+Runs the §3.1 bench tool with deep batches (the WQE-cache-thrashing
+regime) while the number of active threads jumps around, and prints both
+the throughput timeline and the C_max values each epoch selected — the
+mechanism behind Table 1.  Run:
+
+    python examples/dynamic_throttling.py
+"""
+
+import random
+
+from repro.bench.microbench import DEFAULT_REGION_BYTES, _make_wrs
+from repro.bench.plotting import sparkline
+from repro.bench.sampler import CounterSampler
+from repro.cluster import Cluster
+from repro.core import SmartContext, SmartFeatures, SmartThread
+
+
+def run(throttled: bool, total_ns: float = 16e6):
+    features = SmartFeatures().with_overrides(
+        work_req_throttling=throttled,
+        adaptive_credit=throttled,
+        update_delta_ns=0.3e6,  # scaled epoch (see docs/MODEL.md §6)
+        stable_epochs=10,
+        backoff=False, dynamic_backoff_limit=False, coroutine_throttling=False,
+    )
+    cluster = Cluster()
+    compute = cluster.add_node()
+    compute.add_threads(96)
+    (remote,) = cluster.add_nodes(1)
+    region = remote.storage.alloc_region(
+        "bench", min(DEFAULT_REGION_BYTES, remote.storage.capacity - 4096)
+    )
+    SmartContext(compute, [remote], features)
+    smarts = [SmartThread(t, features, seed=i) for i, t in enumerate(compute.threads)]
+    active = [36]
+
+    def worker(index, smart, rng):
+        handle = smart.handle()
+        while True:
+            if index >= active[0]:
+                yield cluster.sim.timeout(0.2e6)
+                continue
+            for wr in _make_wrs("read", 8, 32, region.base, region.size, rng,
+                                remote.storage):
+                handle._buffer.append(wr)
+            yield from handle.post_send()
+            yield from handle.sync()
+
+    def churn():
+        rng = random.Random(5)
+        while True:
+            yield cluster.sim.timeout(4e6)
+            active[0] = rng.choice([36, 64, 96])
+
+    rng = random.Random(1)
+    for i, smart in enumerate(smarts):
+        cluster.sim.spawn(worker(i, smart, random.Random(rng.random())))
+    cluster.sim.spawn(churn())
+    sampler = CounterSampler(cluster.sim, compute.device, period_ns=0.5e6)
+    cluster.sim.run(until=total_ns)
+    sampler.stop()
+    for smart in smarts:
+        smart.stop()
+    return sampler, smarts[0].throttler
+
+
+def main():
+    for throttled in (False, True):
+        sampler, throttler = run(throttled)
+        label = "with throttling " if throttled else "w/o  throttling "
+        print(f"{label} mean={sampler.mean_mops():6.1f} MOPS  "
+              f"timeline: {sparkline(sampler.throughputs())}")
+        if throttled:
+            chosen = [v for _t, v in throttler.cmax_history][-12:]
+            print(f"                 recent C_max decisions: {chosen}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""A disaggregated key-value store: RACE vs SMART-HT head to head.
+
+Loads a hash table across two memory blades, then runs the paper's
+write-heavy YCSB mix (50% updates, Zipfian theta=0.99) with 32 threads x
+8 coroutines — once with the stock RACE configuration and once with
+SMART.  Run:
+
+    python examples/key_value_store.py
+"""
+
+from repro.bench.runner import run_hashtable
+from repro.workloads.ycsb import WRITE_HEAVY
+
+
+def main():
+    print("write-heavy YCSB, 32 threads x 8 coroutines, 100k items, theta=0.99")
+    print(f"{'system':10s} {'MOPS':>7s} {'p50 (us)':>9s} {'p99 (us)':>9s} {'retries/op':>11s}")
+    for system in ("race", "smart-ht"):
+        result = run_hashtable(
+            system,
+            WRITE_HEAVY,
+            threads=32,
+            coroutines=8,
+            item_count=100_000,
+            warmup_ns=1.5e6,
+            measure_ns=3.0e6,
+        )
+        print(
+            f"{system:10s} {result.throughput_mops:7.2f} "
+            f"{(result.p50_latency_ns or 0) / 1e3:9.1f} "
+            f"{(result.p99_latency_ns or 0) / 1e3:9.1f} "
+            f"{result.avg_retries:11.2f}"
+        )
+    print()
+    print("SMART-HT wins by avoiding doorbell contention, throttling")
+    print("outstanding work requests, and backing off failed CAS retries.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim for environments without the ``wheel`` package (offline installs).
+
+``pip install -e . --no-build-isolation --no-use-pep517`` uses this file;
+all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

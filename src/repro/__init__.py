@@ -1,0 +1,40 @@
+"""SMART (ASPLOS'24) reproduced on a simulated RNIC.
+
+Public API tour:
+
+* :class:`repro.Cluster` — build the testbed (nodes = blades with RNICs).
+* :class:`repro.SmartContext` — §4.1 thread-aware RDMA resource
+  allocation for a compute node.
+* :class:`repro.SmartThread` / :class:`repro.SmartHandle` — §5.1
+  coroutine API (``read``/``write``/``cas``/``faa``/``post_send``/
+  ``sync``/``backoff_cas_sync``).
+* :class:`repro.SmartFeatures` — switchboard for SMART's techniques
+  (everything off = the conventional per-thread-QP baseline).
+* ``repro.apps.*`` — RACE, FORD and Sherman plus their SMART refactors.
+* ``repro.bench.experiments`` — one entry point per paper figure/table.
+"""
+
+from repro.cluster import Cluster, ComputeThread, Node
+from repro.core import (
+    OperationStats,
+    SmartContext,
+    SmartFeatures,
+    SmartHandle,
+    SmartThread,
+)
+from repro.rnic.config import RnicConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ComputeThread",
+    "Node",
+    "OperationStats",
+    "RnicConfig",
+    "SmartContext",
+    "SmartFeatures",
+    "SmartHandle",
+    "SmartThread",
+    "__version__",
+]

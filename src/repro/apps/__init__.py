@@ -1,0 +1,2 @@
+"""Disaggregated applications: RACE / FORD / Sherman and their SMART
+refactors (SMART-HT / SMART-DTX / SMART-BT)."""

@@ -1,0 +1,63 @@
+"""Helpers shared by the disaggregated applications."""
+
+from __future__ import annotations
+
+from repro.memory.address import make_addr
+
+
+class RemoteAllocator:
+    """Client-side bump allocator over a remote heap.
+
+    A heap-head counter lives at a fixed offset on the blade; clients
+    reserve chunks with one FAA and then sub-allocate locally — the usual
+    disaggregated-memory allocation scheme (1 RDMA op per chunk, not per
+    object).
+    """
+
+    def __init__(self, handle, blade_id: int, head_addr: int, heap_base: int,
+                 heap_end: int, chunk_bytes: int = 2048):
+        self.handle = handle
+        self.blade_id = blade_id
+        self.head_addr = head_addr
+        self.heap_base = heap_base
+        self.heap_end = heap_end
+        self.chunk_bytes = chunk_bytes
+        self._cursor = 0
+        self._limit = 0
+
+    def alloc(self, size: int):
+        """Allocate ``size`` bytes; returns the blade-local offset.
+
+        Generator: may issue one FAA when the local chunk is exhausted.
+        """
+        if size > self.chunk_bytes:
+            raise ValueError(f"allocation {size} exceeds chunk {self.chunk_bytes}")
+        size = (size + 7) & ~7  # 8-byte alignment
+        if self._cursor + size > self._limit:
+            old = yield from self.handle.faa_sync(self.head_addr, self.chunk_bytes)
+            if old + self.chunk_bytes > self.heap_end:
+                raise MemoryError(
+                    f"remote heap on blade {self.blade_id} exhausted "
+                    f"(head={old}, end={self.heap_end})"
+                )
+            self._cursor, self._limit = old, old + self.chunk_bytes
+        offset = self._cursor
+        self._cursor += size
+        return offset
+
+    def alloc_large(self, size: int):
+        """Allocate an arbitrarily large block with one dedicated FAA
+        (segment splits, node allocations)."""
+        size = (size + 63) & ~63
+        old = yield from self.handle.faa_sync(self.head_addr, size)
+        if old + size > self.heap_end:
+            raise MemoryError(
+                f"remote heap on blade {self.blade_id} exhausted "
+                f"(head={old}, end={self.heap_end})"
+            )
+        return old
+
+    def alloc_addr(self, size: int):
+        """Like :meth:`alloc` but returns a packed global address."""
+        offset = yield from self.alloc(size)
+        return make_addr(self.blade_id, offset)

@@ -1,0 +1,23 @@
+"""FORD: one-sided RDMA distributed transactions on disaggregated
+persistent memory [Zhang et al., FAST'22].
+
+The protocol reproduced here is FORD's one-sided OCC pipeline:
+
+1. **Execution** — READ records (header: lock + version, then payload);
+2. **Lock**      — CAS the lock word of every write-set record (batched
+   in one doorbell); any failure aborts;
+3. **Validation**— re-READ the versions of read-only records;
+4. **Undo log**  — WRITE old images to the client's log ring in NVM;
+5. **Write-back**— WRITE new payload + bumped version + cleared lock to
+   primary and backup replicas in one batched doorbell (FORD's combined
+   write+unlock).
+
+The baseline configuration matches the paper's FORD+ (per-thread QPs, no
+asynchronous-log QPs); SMART-DTX is the same client on full SMART
+features — the paper's 16-changed-lines refactor.
+"""
+
+from repro.apps.ford.server import DtxServer, TableInfo
+from repro.apps.ford.txn import Aborted, Transaction, TxnClient
+
+__all__ = ["Aborted", "DtxServer", "TableInfo", "Transaction", "TxnClient"]

@@ -1,0 +1,94 @@
+"""Crash recovery from the NVM undo logs.
+
+FORD's reason for logging to persistent memory: if a compute blade dies
+mid-commit, its write-set records are left locked (and possibly
+half-written).  The recovery manager — run by whichever node adopts the
+dead client's log ring — scans the ring and, for every record still
+locked by one of the dead client's transactions, restores the logged old
+image and clears the lock.  Records the dead client had already unlocked
+committed normally and are left alone.
+
+Recovery runs against blade memory directly (the recovery manager is
+co-located with the memory pool's control plane), mirroring FORD's
+design where logs live on the memory nodes themselves.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Tuple
+
+from repro.apps.ford.server import DtxServer
+from repro.apps.ford.txn import unpack_log_records
+from repro.memory.address import blade_of, offset_of
+
+_U64 = struct.Struct("<Q")
+
+
+class RecoveryManager:
+    """Rolls back in-doubt transactions of dead clients."""
+
+    def __init__(self, server: DtxServer):
+        self.server = server
+        self._storage = {n.node_id: n.storage for n in server.memory_nodes}
+        self.rolled_back = 0
+        self.already_committed = 0
+
+    def recover_log_ring(self, log_addr: int, log_size: int) -> int:
+        """Scan one dead client's ring; returns records rolled back."""
+        storage = self._storage[blade_of(log_addr)]
+        image = storage.read(offset_of(log_addr), log_size)
+        rolled = 0
+        # Later records supersede earlier ones for the same address, so
+        # replay newest-first and skip already-visited addresses.
+        seen = set()
+        for txn_id, addr, version, payload in reversed(unpack_log_records(image)):
+            if addr in seen:
+                continue
+            seen.add(addr)
+            if self._rollback_record(txn_id, addr, version, payload):
+                rolled += 1
+        self.rolled_back += rolled
+        return rolled
+
+    def _rollback_record(self, txn_id: int, addr: int, version: int,
+                         payload: bytes) -> bool:
+        storage = self._storage.get(blade_of(addr))
+        if storage is None:
+            raise RuntimeError(f"log names unknown blade {blade_of(addr)}")
+        offset = offset_of(addr)
+        lock = storage.read_u64(offset)
+        if lock != txn_id:
+            # The client finished (or never reached) write-back for this
+            # record: lock already released, nothing in doubt.
+            self.already_committed += 1
+            return False
+        record = _U64.pack(0) + _U64.pack(version) + payload
+        storage.write(offset, record)
+        # Repair the backup replica to match (it may hold either image).
+        backup = self._find_backup(addr, len(payload))
+        if backup is not None:
+            backup_storage, backup_offset = backup
+            backup_storage.write(backup_offset, record)
+        return True
+
+    def _find_backup(self, primary_addr: int, payload_len: int):
+        """Locate the backup replica of a primary record, if any."""
+        for table in self.server.tables.values():
+            if table.payload_bytes != payload_len or table.replicas < 2:
+                continue
+            for part, (blade_id, base) in enumerate(table.primary_bases):
+                if blade_id != blade_of(primary_addr):
+                    continue
+                relative = offset_of(primary_addr) - base
+                if relative < 0 or relative % table.record_bytes:
+                    continue
+                row = relative // table.record_bytes
+                key = row * len(table.primary_bases) + part
+                if 0 <= key < table.item_count:
+                    backup_addr = table.backup_addr(key)
+                    return (
+                        self._storage[blade_of(backup_addr)],
+                        offset_of(backup_addr),
+                    )
+        return None

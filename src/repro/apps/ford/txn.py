@@ -1,0 +1,280 @@
+"""The FORD transaction client: one-sided OCC over the SMART API."""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.apps.ford.server import RECORD_HEADER_BYTES, TableInfo
+from repro.core.api import SmartHandle
+
+_U64 = struct.Struct("<Q")
+
+
+LOG_RECORD_HEADER = struct.Struct("<QQQQ")  # txn_id, record_addr, version, len
+
+
+def pack_log_record(txn_id: int, record_addr: int, old_version: int,
+                    old_payload: bytes) -> bytes:
+    """An undo-log record: enough to roll a record back after a crash."""
+    return LOG_RECORD_HEADER.pack(
+        txn_id, record_addr, old_version, len(old_payload)
+    ) + old_payload
+
+
+def unpack_log_records(data: bytes):
+    """Parse a log-ring image into (txn_id, addr, version, payload) tuples."""
+    records = []
+    cursor = 0
+    while cursor + LOG_RECORD_HEADER.size <= len(data):
+        txn_id, addr, version, length = LOG_RECORD_HEADER.unpack_from(data, cursor)
+        if txn_id == 0:
+            break  # unwritten tail of the ring
+        cursor += LOG_RECORD_HEADER.size
+        if cursor + length > len(data):
+            break  # torn tail
+        records.append((txn_id, addr, version, data[cursor : cursor + length]))
+        cursor += length
+    return records
+
+
+class Aborted(Exception):
+    """Raised inside a transaction body to abort it.
+
+    ``retry=True`` (default) marks a concurrency abort that OCC should
+    retry; ``retry=False`` marks a logical failure (insufficient funds,
+    row already present) that terminates the transaction.
+    """
+
+    def __init__(self, reason: str, retry: bool = True):
+        super().__init__(reason)
+        self.reason = reason
+        self.retry = retry
+
+
+class _Entry:
+    """One record in the read or write set."""
+
+    __slots__ = ("table", "key", "version", "payload", "new_payload", "locked")
+
+    def __init__(self, table: TableInfo, key: int, version: int, payload: bytes):
+        self.table = table
+        self.key = key
+        self.version = version
+        self.payload = payload
+        self.new_payload: Optional[bytes] = None
+        self.locked = False
+
+
+class Transaction:
+    """One transaction attempt; created by :meth:`TxnClient.begin`."""
+
+    def __init__(self, client: "TxnClient", txn_id: int):
+        self.client = client
+        self.handle = client.handle
+        self.txn_id = txn_id
+        self._read_set: Dict[Tuple[str, int], _Entry] = {}
+        self._write_set: Dict[Tuple[str, int], _Entry] = {}
+        self.committed = False
+
+    # -- execution phase ---------------------------------------------------
+
+    def read(self, table: TableInfo, key: int):
+        """READ a record; returns its payload bytes (read-set member)."""
+        entry = yield from self._fetch(table, key)
+        self._read_set.setdefault((table.name, key), entry)
+        return entry.payload
+
+    def read_for_update(self, table: TableInfo, key: int):
+        """READ a record, marking it for write-back."""
+        ident = (table.name, key)
+        entry = self._write_set.get(ident)
+        if entry is None:
+            entry = yield from self._fetch(table, key)
+            self._write_set[ident] = entry
+            self._read_set.pop(ident, None)
+        return entry.payload
+
+    def write(self, table: TableInfo, key: int, payload: bytes) -> None:
+        """Stage a new payload for a record previously read_for_update,
+        or a blind write."""
+        if len(payload) != table.payload_bytes:
+            raise ValueError(
+                f"{table.name}: payload {len(payload)}B != {table.payload_bytes}B"
+            )
+        ident = (table.name, key)
+        entry = self._write_set.get(ident)
+        if entry is None:
+            entry = _Entry(table, key, 0, b"")
+            entry.version = None  # blind write: no version to validate
+            self._write_set[ident] = entry
+        entry.new_payload = payload
+
+    def _fetch(self, table: TableInfo, key: int):
+        handle = self.handle
+        data = yield from handle.read_sync(
+            table.primary_addr(key), table.record_bytes
+        )
+        version = _U64.unpack_from(data, 8)[0]
+        return _Entry(table, key, version, data[RECORD_HEADER_BYTES:])
+
+    # -- commit pipeline ------------------------------------------------------
+
+    CRASH_AFTER_LOCK = "after-lock"
+    CRASH_AFTER_LOG = "after-log"
+
+    def commit(self, crash_point: Optional[str] = None):
+        """Run lock -> validate -> log -> write-back; returns True on
+        commit, False on abort (locks released).
+
+        ``crash_point`` injects a client failure for recovery testing:
+        the coroutine stops at the named pipeline stage, leaving locks
+        held (and, after-log, old images persisted) exactly as a dead
+        compute blade would — :mod:`repro.apps.ford.recovery` must then
+        repair the tables.
+        """
+        handle = self.handle
+        pending = [e for e in self._write_set.values() if e.new_payload is not None]
+        if not pending:
+            self.committed = True
+            return True  # read-only: OCC needs no validation round
+
+        # 1. Lock the write set (one doorbell for all CAS ops).
+        lock_wrs = []
+        for entry in pending:
+            addr = entry.table.primary_addr(entry.key)
+            lock_wrs.append((entry, handle.cas(addr, 0, self.txn_id)))
+        yield from handle.post_send()
+        yield from handle.sync()
+        failed = [e for e, wr in lock_wrs if wr.result != 0]
+        for entry, wr in lock_wrs:
+            entry.locked = wr.result == 0
+        if failed:
+            yield from self._release_locks()
+            handle.note_retry()
+            return False
+        if crash_point == self.CRASH_AFTER_LOCK:
+            return "crashed"
+
+        # 2. Validate: blind writes re-check their version under the lock;
+        #    read-set members are re-read.
+        validate_wrs = []
+        for entry in pending:
+            if entry.version is None:
+                continue
+            addr = entry.table.primary_addr(entry.key) + 8
+            validate_wrs.append((entry, handle.read(addr, 8)))
+        for entry in self._read_set.values():
+            addr = entry.table.primary_addr(entry.key) + 8
+            validate_wrs.append((entry, handle.read(addr, 8)))
+        if validate_wrs:
+            yield from handle.post_send()
+            yield from handle.sync()
+            for entry, wr in validate_wrs:
+                if _U64.unpack(wr.result)[0] != entry.version:
+                    yield from self._release_locks()
+                    handle.note_retry()
+                    return False
+
+        # 3. Undo log: old images to the NVM log ring (one doorbell).
+        for entry in pending:
+            self.client.log_append(
+                handle,
+                pack_log_record(
+                    self.txn_id,
+                    entry.table.primary_addr(entry.key),
+                    entry.version if entry.version is not None else 0,
+                    entry.payload if entry.payload else b"\x00" * entry.table.payload_bytes,
+                ),
+            )
+        yield from handle.post_send()
+        yield from handle.sync()
+        if crash_point == self.CRASH_AFTER_LOG:
+            return "crashed"
+
+        # 4. Write-back + unlock in one WRITE per replica (lock=0,
+        #    version+1, payload), batched in one doorbell.
+        for entry in pending:
+            new_version = (entry.version or 0) + 1
+            record = _U64.pack(0) + _U64.pack(new_version) + entry.new_payload
+            for addr in entry.table.replica_addrs(entry.key):
+                handle.write(addr, record)
+        yield from handle.post_send()
+        yield from handle.sync()
+        self.committed = True
+        return True
+
+    def _release_locks(self):
+        handle = self.handle
+        released = False
+        for entry in self._write_set.values():
+            if entry.locked:
+                handle.write(entry.table.primary_addr(entry.key), _U64.pack(0))
+                entry.locked = False
+                released = True
+        if released:
+            yield from handle.post_send()
+            yield from handle.sync()
+
+
+class TxnClient:
+    """Per-coroutine transaction client (FORD / SMART-DTX)."""
+
+    MAX_ATTEMPTS = 512
+
+    _next_client_id = 0
+
+    def __init__(self, handle: SmartHandle, log_ring: Tuple[int, int]):
+        TxnClient._next_client_id += 1
+        self.client_id = TxnClient._next_client_id
+        self.handle = handle
+        self._log_addr, self._log_size = log_ring
+        self._log_cursor = 0
+        self._txn_seq = 0
+        self.commits = 0
+        self.aborts = 0
+
+    def begin(self) -> Transaction:
+        self._txn_seq += 1
+        txn_id = (self.client_id << 24) | self._txn_seq
+        return Transaction(self, txn_id)
+
+    def log_append(self, handle: SmartHandle, image: bytes) -> None:
+        """Buffer an undo-log WRITE into the client's NVM ring."""
+        if self._log_cursor + len(image) > self._log_size:
+            self._log_cursor = 0  # ring wrap (old entries are obsolete)
+        handle.write(self._log_addr + self._log_cursor, image)
+        self._log_cursor += len(image)
+
+    def run(self, body: Callable[[Transaction], "object"]):
+        """Execute ``body`` with OCC retries until commit.
+
+        ``body(txn)`` is a generator performing reads/writes; it may raise
+        :class:`Aborted`.  Failed commits retry after the SMART backoff
+        (which collapses to an immediate retry with backoff disabled —
+        the FORD baseline behaviour).  Returns the body's return value.
+        """
+        handle = self.handle
+        yield from handle.begin_op()
+        for _attempt in range(self.MAX_ATTEMPTS):
+            txn = self.begin()
+            try:
+                result = yield from body(txn)
+            except Aborted as abort:
+                yield from txn._release_locks()
+                if not abort.retry:
+                    handle.end_op(failed=True)
+                    return None
+                handle.note_retry()
+                yield from handle.backoff_delay()
+                self.aborts += 1
+                continue
+            ok = yield from txn.commit()
+            if ok:
+                self.commits += 1
+                handle.end_op()
+                return result
+            self.aborts += 1
+            yield from handle.backoff_delay()
+        handle.end_op(failed=True)
+        raise RuntimeError("transaction retried too many times")

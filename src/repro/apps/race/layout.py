@@ -1,0 +1,141 @@
+"""On-blade layout of the RACE hash table.
+
+Directory (on the primary memory blade)::
+
+    [global_depth u64][segment_count u64][dir_lock u64][segment_addr u64] * capacity
+
+Segment::
+
+    [header: local_depth u64][lock u64][bucket] * buckets_per_segment
+
+Bucket (one cacheline)::
+
+    [slot u64] * SLOTS_PER_BUCKET  (+ 8 spare bytes)
+
+Slot encoding (8 bytes, CAS-published)::
+
+    fingerprint (8 bits) | kv_units (8 bits) | kv block address (48 bits)
+
+KV block::
+
+    [key u64][value u64]
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+SLOTS_PER_BUCKET = 7
+BUCKET_BYTES = 64  # 7 slots + 8 spare bytes; one cacheline
+SEGMENT_HEADER_BYTES = 16
+KV_BLOCK_BYTES = 16
+DIR_HEADER_BYTES = 24
+
+_U64 = struct.Struct("<Q")
+_KV = struct.Struct("<QQ")
+
+_ADDR_MASK = (1 << 48) - 1
+_GOLDEN_GAMMA = 0x9E3779B97F4A7C15
+_MASK_64 = (1 << 64) - 1
+
+
+def mix64(value: int) -> int:
+    """splitmix64 finalizer — the second, independent hash."""
+    value = (value + _GOLDEN_GAMMA) & _MASK_64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK_64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK_64
+    return value ^ (value >> 31)
+
+
+def hash1(key: int) -> int:
+    """Primary hash: directory index bits + bucket-1 index + fingerprint."""
+    return mix64(key ^ 0x5555555555555555)
+
+
+def hash2(key: int) -> int:
+    """Independent secondary hash for the second candidate bucket."""
+    return mix64(key ^ 0xAAAAAAAAAAAAAAAA)
+
+
+def fingerprint(key: int) -> int:
+    """8-bit tag stored in the slot; 0 is reserved for 'empty-looking'."""
+    fp = (hash1(key) >> 48) & 0xFF
+    return fp or 1
+
+
+@dataclass(frozen=True)
+class Slot:
+    """Decoded slot value."""
+
+    fingerprint: int
+    kv_units: int
+    addr: int
+
+    @property
+    def kv_bytes(self) -> int:
+        return self.kv_units * 8
+
+    def encode(self) -> int:
+        if not 0 <= self.fingerprint <= 0xFF:
+            raise ValueError("fingerprint out of range")
+        if not 0 <= self.kv_units <= 0xFF:
+            raise ValueError("kv_units out of range")
+        if self.addr & ~_ADDR_MASK:
+            raise ValueError("slot address needs more than 48 bits")
+        return (self.fingerprint << 56) | (self.kv_units << 48) | self.addr
+
+
+EMPTY_SLOT = 0
+
+
+def decode_slot(value: int) -> Slot:
+    return Slot(
+        fingerprint=(value >> 56) & 0xFF,
+        kv_units=(value >> 48) & 0xFF,
+        addr=value & _ADDR_MASK,
+    )
+
+
+def make_slot(key: int, kv_addr48: int) -> int:
+    """Slot value publishing a KV block at the 48-bit packed address."""
+    return Slot(fingerprint(key), KV_BLOCK_BYTES // 8, kv_addr48).encode()
+
+
+def pack_kv(key: int, value: int) -> bytes:
+    return _KV.pack(key & _MASK_64, value & _MASK_64)
+
+
+def unpack_kv(data: bytes):
+    return _KV.unpack(data)
+
+
+def pack_u64(value: int) -> bytes:
+    return _U64.pack(value & _MASK_64)
+
+
+def unpack_u64(data: bytes) -> int:
+    return _U64.unpack(data)[0]
+
+
+def segment_bytes(buckets_per_segment: int) -> int:
+    return SEGMENT_HEADER_BYTES + buckets_per_segment * BUCKET_BYTES
+
+
+def bucket_offset(bucket_index: int) -> int:
+    """Byte offset of a bucket inside its segment."""
+    return SEGMENT_HEADER_BYTES + bucket_index * BUCKET_BYTES
+
+
+def bucket_indices(key: int, buckets_per_segment: int):
+    """The two candidate buckets of a key within its segment."""
+    b1 = (hash1(key) >> 16) % buckets_per_segment
+    b2 = (hash2(key) >> 16) % buckets_per_segment
+    if b2 == b1:
+        b2 = (b2 + 1) % buckets_per_segment
+    return b1, b2
+
+
+def directory_index(key: int, global_depth: int) -> int:
+    """Directory slot for a key: the low ``global_depth`` bits of hash1."""
+    return hash1(key) & ((1 << global_depth) - 1)

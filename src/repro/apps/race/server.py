@@ -1,0 +1,160 @@
+"""Server-side setup of the RACE hash table.
+
+Memory blades are passive: everything here happens during deployment
+(region carving, directory initialization, bulk loading), before clients
+start issuing one-sided verbs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.apps.race import layout
+from repro.cluster import Node
+from repro.memory.address import make_addr
+
+
+@dataclass
+class TableMeta:
+    """Bootstrap information clients receive out of band (one TCP exchange
+    in real deployments)."""
+
+    dir_addr: int
+    global_depth: int
+    buckets_per_segment: int
+    #: directory cache: directory index -> global segment address
+    segment_addrs: List[int]
+    #: per-segment local depths (client cache, refreshed with the directory)
+    local_depths: List[int]
+    #: blade id -> (heap head addr, heap base offset, heap end offset)
+    heaps: Dict[int, Tuple[int, int, int]]
+
+
+class HashTableServer:
+    """Creates and bulk-loads a RACE table across memory blades."""
+
+    def __init__(
+        self,
+        memory_nodes: Sequence[Node],
+        segments: int = 64,
+        buckets_per_segment: int = 512,
+        heap_bytes_per_blade: int = 8 << 20,
+    ):
+        if segments & (segments - 1):
+            raise ValueError("segments must be a power of two")
+        self.memory_nodes = list(memory_nodes)
+        self.segments = segments
+        self.buckets_per_segment = buckets_per_segment
+        self.global_depth = int(math.log2(segments))
+        self._segment_bytes = layout.segment_bytes(buckets_per_segment)
+
+        primary = self.memory_nodes[0].storage
+        dir_capacity = segments * 16  # room for a few doublings
+        self._dir_region = primary.alloc_region(
+            "race_dir", layout.DIR_HEADER_BYTES + dir_capacity * 8
+        )
+        self.segment_addrs: List[int] = []
+        self._segment_regions = {}
+        for node in self.memory_nodes:
+            count = self._segments_on(node)
+            region = node.storage.alloc_region(
+                "race_segments", count * self._segment_bytes
+            )
+            self._segment_regions[node.node_id] = region
+
+        self.heaps: Dict[int, Tuple[int, int, int]] = {}
+        for node in self.memory_nodes:
+            head = node.storage.alloc_region("race_heap_head", 8)
+            heap = node.storage.alloc_region("race_heap", heap_bytes_per_blade)
+            node.storage.write_u64(head.base, heap.base)
+            self.heaps[node.node_id] = (
+                make_addr(node.node_id, head.base),
+                heap.base,
+                heap.end,
+            )
+
+        self._init_directory()
+
+    def _segments_on(self, node: Node) -> int:
+        """Segments hosted by ``node`` (round-robin placement)."""
+        index = self.memory_nodes.index(node)
+        base, extra = divmod(self.segments, len(self.memory_nodes))
+        return base + (1 if index < extra else 0)
+
+    def _init_directory(self) -> None:
+        primary = self.memory_nodes[0].storage
+        cursors = {
+            node.node_id: self._segment_regions[node.node_id].base
+            for node in self.memory_nodes
+        }
+        for i in range(self.segments):
+            node = self.memory_nodes[i % len(self.memory_nodes)]
+            offset = cursors[node.node_id]
+            cursors[node.node_id] = offset + self._segment_bytes
+            node.storage.write_u64(offset, self.global_depth)  # local depth
+            node.storage.write_u64(offset + 8, 0)  # lock word
+            self.segment_addrs.append(make_addr(node.node_id, offset))
+        primary.write_u64(self._dir_region.base, self.global_depth)
+        primary.write_u64(self._dir_region.base + 8, self.segments)
+        for i, addr in enumerate(self.segment_addrs):
+            primary.write_u64(
+                self._dir_region.base + layout.DIR_HEADER_BYTES + i * 8, addr
+            )
+
+    # -- bootstrap --------------------------------------------------------------
+
+    def meta(self) -> TableMeta:
+        return TableMeta(
+            dir_addr=make_addr(self.memory_nodes[0].node_id, self._dir_region.base),
+            global_depth=self.global_depth,
+            buckets_per_segment=self.buckets_per_segment,
+            segment_addrs=list(self.segment_addrs),
+            local_depths=[self.global_depth] * len(self.segment_addrs),
+            heaps=dict(self.heaps),
+        )
+
+    # -- bulk loading -----------------------------------------------------------------
+
+    def bulk_load(self, items) -> int:
+        """Load (key, value) pairs directly into blade memory.
+
+        Uses the same placement as client inserts, so clients can find
+        every loaded key.  Returns the number of items loaded.
+        """
+        node_by_id = {n.node_id: n for n in self.memory_nodes}
+        loaded = 0
+        for key, value in items:
+            dir_index = layout.directory_index(key, self.global_depth)
+            seg_addr = self.segment_addrs[dir_index]
+            blade_id = (seg_addr >> 48) - 1
+            seg_offset = seg_addr & ((1 << 48) - 1)
+            storage = node_by_id[blade_id].storage
+            # Allocate the KV block by bumping the blade's heap head.
+            head_addr, _, heap_end = self.heaps[blade_id]
+            head_offset = head_addr & ((1 << 48) - 1)
+            kv_offset = storage.read_u64(head_offset)
+            if kv_offset + layout.KV_BLOCK_BYTES > heap_end:
+                raise MemoryError(f"heap exhausted on blade {blade_id}")
+            storage.write_u64(head_offset, kv_offset + layout.KV_BLOCK_BYTES)
+            storage.bulk_write(kv_offset, layout.pack_kv(key, value))
+
+            b1, b2 = layout.bucket_indices(key, self.buckets_per_segment)
+            slot_value = layout.make_slot(key, kv_offset)
+            if not self._place(storage, seg_offset, (b1, b2), slot_value):
+                raise MemoryError(
+                    f"bulk load: both buckets full for key {key}; "
+                    "increase segments or buckets_per_segment"
+                )
+            loaded += 1
+        return loaded
+
+    def _place(self, storage, seg_offset: int, buckets, slot_value: int) -> bool:
+        for bucket in buckets:
+            base = seg_offset + layout.bucket_offset(bucket)
+            for slot in range(layout.SLOTS_PER_BUCKET):
+                if storage.read_u64(base + slot * 8) == layout.EMPTY_SLOT:
+                    storage.write_u64(base + slot * 8, slot_value)
+                    return True
+        return False

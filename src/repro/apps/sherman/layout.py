@@ -1,0 +1,168 @@
+"""On-blade layout of Sherman's B+Tree nodes.
+
+Node (1 KB, the size the paper quotes for leaves)::
+
+    header (64 B):
+        [lock u64][version u64][level u64][nkeys u64]
+        [fence_low u64][fence_high u64][sibling u64][cacheline_versions u64]
+    entries (60 x 16 B):
+        internal: [separator_key u64][child_addr u64]
+        leaf:     [key u64][value u64]
+
+``cacheline_versions`` packs one version byte per 64-byte line of the
+entry area (15 lines) — the FaRM-style per-cacheline mechanism Sherman+
+retrofits; a writer bumps the lines it touches, so a reader can detect a
+torn 1 KB read and retry.
+
+``fence_low`` is inclusive, ``fence_high`` exclusive; a key >= fence_high
+lives in the right sibling (B-link invariant).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+NODE_BYTES = 1024
+HEADER_BYTES = 64
+ENTRY_BYTES = 16
+FANOUT = (NODE_BYTES - HEADER_BYTES) // ENTRY_BYTES  # 60
+ENTRY_LINES = (NODE_BYTES - HEADER_BYTES) // 64  # 15
+
+KEY_MIN = 0
+KEY_MAX = (1 << 64) - 1
+
+_HEADER = struct.Struct("<QQQQQQQQ")
+_ENTRY = struct.Struct("<QQ")
+
+LEAF_LEVEL = 0
+
+
+@dataclass
+class Node:
+    """A decoded tree node."""
+
+    lock: int = 0
+    version: int = 0
+    level: int = LEAF_LEVEL
+    fence_low: int = KEY_MIN
+    fence_high: int = KEY_MAX
+    sibling: int = 0
+    line_versions: int = 0
+    entries: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == LEAF_LEVEL
+
+    @property
+    def nkeys(self) -> int:
+        return len(self.entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self.entries) >= FANOUT
+
+    def covers(self, key: int) -> bool:
+        return self.fence_low <= key < self.fence_high
+
+    # -- entry access -------------------------------------------------------
+
+    def find_leaf_entry(self, key: int) -> Optional[int]:
+        """Index of ``key`` in a leaf, or None."""
+        index = self._lower_bound(key)
+        if index < len(self.entries) and self.entries[index][0] == key:
+            return index
+        return None
+
+    def child_for(self, key: int) -> int:
+        """Internal node: address of the child covering ``key``."""
+        if not self.entries:
+            raise ValueError("internal node with no entries")
+        index = self._lower_bound(key)
+        if index == len(self.entries) or self.entries[index][0] > key:
+            index -= 1
+        if index < 0:
+            raise KeyError(f"key {key} below this node's first separator")
+        return self.entries[index][1]
+
+    def insert_sorted(self, key: int, value: int) -> int:
+        """Insert (or overwrite) keeping entries sorted; returns the index."""
+        index = self._lower_bound(key)
+        if index < len(self.entries) and self.entries[index][0] == key:
+            self.entries[index] = (key, value)
+        else:
+            self.entries.insert(index, (key, value))
+        return index
+
+    def _lower_bound(self, key: int) -> int:
+        lo, hi = 0, len(self.entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.entries[mid][0] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    # -- versions -------------------------------------------------------------
+
+    def bump_lines(self, first_entry: int, last_entry: int) -> None:
+        """Increment the per-cacheline version of touched entry lines."""
+        first_line = (first_entry * ENTRY_BYTES) // 64
+        last_line = (last_entry * ENTRY_BYTES) // 64
+        for line in range(first_line, min(last_line, ENTRY_LINES - 1) + 1):
+            shift = line * 4  # 4-bit version per line (15 lines -> 60 bits)
+            current = (self.line_versions >> shift) & 0xF
+            self.line_versions &= ~(0xF << shift)
+            self.line_versions |= ((current + 1) & 0xF) << shift
+
+    # -- wire format --------------------------------------------------------------
+
+    def encode(self) -> bytes:
+        if len(self.entries) > FANOUT:
+            raise ValueError(f"node over-full: {len(self.entries)} > {FANOUT}")
+        buffer = bytearray(NODE_BYTES)
+        _HEADER.pack_into(
+            buffer,
+            0,
+            self.lock,
+            self.version,
+            self.level,
+            len(self.entries),
+            self.fence_low,
+            self.fence_high,
+            self.sibling,
+            self.line_versions,
+        )
+        for i, (key, value) in enumerate(self.entries):
+            _ENTRY.pack_into(buffer, HEADER_BYTES + i * ENTRY_BYTES, key, value)
+        return bytes(buffer)
+
+
+def decode(data: bytes) -> Node:
+    if len(data) != NODE_BYTES:
+        raise ValueError(f"expected {NODE_BYTES} bytes, got {len(data)}")
+    (lock, version, level, nkeys, low, high, sibling, lines) = _HEADER.unpack_from(
+        data, 0
+    )
+    if nkeys > FANOUT:
+        raise ValueError(f"corrupt node: nkeys={nkeys}")
+    entries = [
+        _ENTRY.unpack_from(data, HEADER_BYTES + i * ENTRY_BYTES) for i in range(nkeys)
+    ]
+    return Node(lock, version, level, low, high, sibling, lines, entries)
+
+
+def entry_offset(index: int) -> int:
+    """Byte offset of entry ``index`` within its node."""
+    return HEADER_BYTES + index * ENTRY_BYTES
+
+
+def pack_entry(key: int, value: int) -> bytes:
+    return _ENTRY.pack(key, value)
+
+
+def unpack_entry(data: bytes) -> Tuple[int, int]:
+    return _ENTRY.unpack(data)

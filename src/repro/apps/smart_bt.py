@@ -1,0 +1,33 @@
+"""SMART-BT: Sherman refactored onto SMART + speculative lookup (§5.2).
+
+The 48-line refactor of the paper corresponds here to configuration:
+
+* run the shared :class:`~repro.apps.sherman.client.BTreeClient` on a
+  :class:`~repro.core.SmartThread` built with the full feature set, and
+* give it a :class:`~repro.apps.sherman.client.SpeculativeCache`, turning
+  each hot lookup from a 1 KB leaf fetch (bandwidth-bound) into a 16-byte
+  entry READ (IOPS-bound).
+
+``sherman_plus_features`` / ``smart_bt_features`` are the two framework
+configurations compared in Figure 12; "Sherman+ w/ SL" is Sherman+
+features plus a speculative cache.
+"""
+
+from __future__ import annotations
+
+from repro.apps.sherman.client import BTreeClient, SpeculativeCache
+from repro.core.features import SmartFeatures, baseline, full
+
+
+class SmartBTree(BTreeClient):
+    """Alias emphasising the SMART configuration."""
+
+
+def sherman_plus_features() -> SmartFeatures:
+    """Framework configuration of Sherman+ (per-thread QPs, no SMART)."""
+    return baseline()
+
+
+def smart_bt_features() -> SmartFeatures:
+    """Framework configuration of SMART-BT."""
+    return full()

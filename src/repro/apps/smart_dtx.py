@@ -1,0 +1,28 @@
+"""SMART-DTX: FORD refactored onto SMART (§5.2).
+
+The paper's 16-changed-lines refactor is, again, pure configuration: the
+same :class:`~repro.apps.ford.txn.TxnClient` runs on a SmartThread with
+the full feature set.  Per the paper, SMART-DTX uses one QP per (thread,
+memory blade) connection, which is exactly what
+:class:`~repro.core.SmartContext` allocates.
+"""
+
+from __future__ import annotations
+
+from repro.apps.ford.txn import TxnClient
+from repro.core.features import SmartFeatures, baseline, full
+
+
+class SmartTxnClient(TxnClient):
+    """Alias emphasising the SMART configuration."""
+
+
+def ford_features() -> SmartFeatures:
+    """Framework configuration of FORD+ (the paper's strengthened
+    baseline: per-thread QPs, synchronous logging, no SMART)."""
+    return baseline()
+
+
+def smart_dtx_features() -> SmartFeatures:
+    """Framework configuration of SMART-DTX."""
+    return full()

@@ -1,0 +1,33 @@
+"""SMART-HT: the RACE hash table refactored onto SMART (§5.2).
+
+The protocol code is shared with :mod:`repro.apps.race.client`; the
+refactor — like the paper's 44-line diff — is entirely a change of the
+framework configuration:
+
+* the client's :class:`~repro.core.SmartThread` is built with the full
+  :class:`~repro.core.SmartFeatures` (thread-aware allocation, adaptive
+  work-request throttling, conflict avoidance), and
+* slot publication goes through ``backoff_cas_sync`` instead of a bare
+  CAS + immediate retry (which is what the same call degenerates to with
+  the features off).
+"""
+
+from __future__ import annotations
+
+from repro.apps.race.client import HashTableClient
+from repro.core.features import SmartFeatures, baseline, full
+
+
+class SmartHashTable(HashTableClient):
+    """Alias emphasising the SMART configuration; construct its handles
+    from SmartThreads carrying :func:`repro.core.features.full`."""
+
+
+def race_features() -> SmartFeatures:
+    """Framework configuration matching the published RACE client."""
+    return baseline()
+
+
+def smart_ht_features() -> SmartFeatures:
+    """Framework configuration of SMART-HT."""
+    return full()

@@ -1,0 +1,7 @@
+"""Benchmark harness: the §3.1 micro-bench tool, application experiment
+runners and report formatting for every figure/table in the paper."""
+
+from repro.bench.microbench import MicrobenchResult, run_microbench
+from repro.bench.report import format_table, ratio
+
+__all__ = ["MicrobenchResult", "format_table", "ratio", "run_microbench"]

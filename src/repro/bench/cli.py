@@ -1,0 +1,84 @@
+"""Command-line bench tool, mirroring the artifact's ``test_rdma``.
+
+The paper's appendix (A.4.1) runs::
+
+    LD_PRELOAD=libmlx5.so ./test/test_rdma 96 8
+
+and prints::
+
+    rdma-read: #threads=96, #depth=8, #block_size=8, BW=848.217 MB/s,
+    IOPS=111.177 M/s, conn establish time=1245.924 ms
+
+This module provides the simulated equivalent::
+
+    python -m repro.bench.cli 96 8 --policy smart
+    python -m repro.bench.cli --help
+
+and can append a CSV line to a dump file, exactly like the artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.bench.microbench import POLICIES, run_microbench
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="simulated equivalent of SMART's test_rdma micro-benchmark",
+    )
+    parser.add_argument("threads", type=int, nargs="?", default=96,
+                        help="worker thread count (default: 96)")
+    parser.add_argument("depth", type=int, nargs="?", default=8,
+                        help="outstanding work requests per thread (default: 8)")
+    parser.add_argument("--policy", choices=POLICIES, default="smart",
+                        help="QP allocation policy (default: smart)")
+    parser.add_argument("--op", choices=("read", "write"), default="read")
+    parser.add_argument("--block-size", type=int, default=8,
+                        help="payload bytes per work request (default: 8)")
+    parser.add_argument("--memory-nodes", type=int, default=1)
+    parser.add_argument("--measure-us", type=float, default=1500.0,
+                        help="measured window, simulated microseconds")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--dump-file-path", default=None,
+                        help="append a CSV result line to this file")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    started = time.time()
+    result = run_microbench(
+        policy=args.policy,
+        threads=args.threads,
+        depth=args.depth,
+        payload=args.block_size,
+        op=args.op,
+        memory_nodes=args.memory_nodes,
+        measure_ns=args.measure_us * 1e3,
+        seed=args.seed,
+    )
+    bandwidth_mbps = result.throughput_mops * args.block_size
+    wall_ms = (time.time() - started) * 1e3
+    print(
+        f"rdma-{args.op}: #threads={args.threads}, #depth={args.depth}, "
+        f"#block_size={args.block_size}, BW={bandwidth_mbps:.3f} MB/s, "
+        f"IOPS={result.throughput_mops:.3f} M/s, "
+        f"sim wall time={wall_ms:.3f} ms"
+    )
+    if args.dump_file_path:
+        with open(args.dump_file_path, "a") as dump:
+            dump.write(
+                f"rdma-{args.op},{args.threads},{args.depth},{args.block_size},"
+                f"{bandwidth_mbps:.3f},{result.throughput_mops:.3f},{wall_ms:.3f}\n"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

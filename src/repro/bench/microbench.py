@@ -1,0 +1,296 @@
+"""The §3.1 bench tool (``test_rdma`` in the artifact).
+
+Each thread repeatedly posts ``depth`` READ/WRITE work requests to
+uniformly random addresses in a 1 GB remote region, rings the doorbell
+once, and waits for all acknowledgements — exactly the paper's loop.
+Throughput is measured from device counters over a warm window; DRAM
+traffic per WR (the Fig-4b metric) comes from the same counters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cluster import Cluster, ComputeThread
+from repro.core import SmartContext, SmartFeatures, SmartThread
+from repro.core.features import baseline as baseline_features
+from repro.rnic import verbs
+from repro.rnic.config import RnicConfig
+from repro.rnic.policies import (
+    ConnectionPolicy,
+    MultiplexedQpPolicy,
+    PerThreadContextPolicy,
+    PerThreadQpPolicy,
+    SharedQpPolicy,
+)
+from repro.rnic.qp import read_wr, write_wr
+from repro.sim.rng import percentile
+
+#: Remote region the paper's bench tool targets.
+DEFAULT_REGION_BYTES = 1 << 30
+
+POLICIES = (
+    "shared-qp",
+    "multiplexed-qp",
+    "per-thread-qp",
+    "per-thread-context",
+    "per-thread-db",
+    "smart",
+)
+
+
+@dataclass
+class MicrobenchResult:
+    """One measurement point of the bench tool."""
+
+    policy: str
+    threads: int
+    depth: int
+    payload: int
+    op: str
+    throughput_mops: float
+    dram_bytes_per_wr: float
+    batch_latency_p50_ns: Optional[float] = None
+    batch_latency_p99_ns: Optional[float] = None
+    doorbells_used: int = 0
+    measured_wrs: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"rdma-{self.op}: policy={self.policy}, #threads={self.threads}, "
+            f"#depth={self.depth}, #block_size={self.payload}, "
+            f"IOPS={self.throughput_mops:.1f} M/s"
+        )
+
+
+def _policy_instance(policy: str, multiplex_q: int) -> Optional[ConnectionPolicy]:
+    if policy == "shared-qp":
+        return SharedQpPolicy()
+    if policy == "multiplexed-qp":
+        return MultiplexedQpPolicy(multiplex_q)
+    if policy == "per-thread-qp":
+        return PerThreadQpPolicy()
+    if policy == "per-thread-context":
+        return PerThreadContextPolicy()
+    if policy in ("per-thread-db", "smart"):
+        return None  # handled via SmartContext
+    raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+
+
+def _make_wrs(op: str, payload: int, depth: int, region_base: int, region_size: int,
+              rng: random.Random, blade) -> List:
+    slots = region_size // max(payload, 8)
+    wrs = []
+    for _ in range(depth):
+        offset = region_base + rng.randrange(slots) * max(payload, 8)
+        addr = blade.global_addr(offset)
+        if op == "read":
+            wrs.append(read_wr(addr, payload))
+        elif op == "write":
+            wrs.append(write_wr(addr, b"\x00" * payload))
+        else:
+            raise ValueError(f"op must be 'read' or 'write', got {op!r}")
+    return wrs
+
+
+def run_microbench(
+    policy: str = "per-thread-db",
+    threads: int = 96,
+    depth: int = 8,
+    payload: int = 8,
+    op: str = "read",
+    memory_nodes: int = 1,
+    warmup_ns: float = 0.4e6,
+    measure_ns: float = 1.6e6,
+    config: Optional[RnicConfig] = None,
+    features: Optional[SmartFeatures] = None,
+    multiplex_q: int = 8,
+    seed: int = 1,
+    latency_samples: bool = False,
+) -> MicrobenchResult:
+    """Run the bench tool at one (policy, threads, depth) point."""
+    if policy == "smart" and features is None:
+        # Scale the paper's Δ = 8 ms epoch down so the C_max search
+        # converges inside a short simulation (ratios preserved).
+        features = SmartFeatures().with_overrides(
+            update_delta_ns=0.3e6,
+            backoff=False,
+            dynamic_backoff_limit=False,
+            coroutine_throttling=False,
+        )
+    if features is not None and features.work_req_throttling and features.adaptive_credit:
+        # Measure in the stable phase, after the first UPDATE pass.
+        update_phase = len(features.cmax_candidates) * features.update_delta_ns
+        warmup_ns = max(warmup_ns, update_phase + 0.5e6)
+
+    cluster = Cluster(config)
+    compute = cluster.add_node()
+    compute.add_threads(threads)
+    remotes = cluster.add_nodes(memory_nodes)
+    regions = [r.storage.alloc_region("bench", min(DEFAULT_REGION_BYTES,
+               r.storage.capacity - 4096)) for r in remotes]
+
+    smart_threads: List[SmartThread] = []
+    doorbells_used = 0
+    conn = _policy_instance(policy, multiplex_q)
+    if conn is not None:
+        conn.connect(compute, remotes)
+    else:
+        if policy == "per-thread-db":
+            # Thread-aware allocation only; no throttling or backoff.
+            features = baseline_features().with_overrides(thread_aware_alloc=True)
+        elif features is None:
+            features = SmartFeatures()
+        context = SmartContext(compute, remotes, features)
+        doorbells_used = context.doorbells_in_use()
+        if policy == "smart":
+            smart_threads = [
+                SmartThread(t, features, seed=seed + i)
+                for i, t in enumerate(compute.threads)
+            ]
+
+    latencies: List[float] = []
+    sim = cluster.sim
+
+    def raw_worker(thread: ComputeThread, rng: random.Random):
+        remote = remotes[rng.randrange(len(remotes))]
+        region = regions[remote.node_id - 1]
+        qp = thread.qp_for(remote.node_id)
+        while True:
+            wrs = _make_wrs(op, payload, depth, region.base, region.size, rng,
+                            remote.storage)
+            start = sim.now
+            yield from verbs.post_and_wait(thread, qp, wrs)
+            if latency_samples and sim.now >= warmup_ns:
+                latencies.append(sim.now - start)
+
+    def smart_worker(smart: SmartThread, rng: random.Random):
+        handle = smart.handle()
+        remote = remotes[rng.randrange(len(remotes))]
+        region = regions[remote.node_id - 1]
+        blade = remote.storage
+        while True:
+            for wr in _make_wrs(op, payload, depth, region.base, region.size,
+                                rng, blade):
+                handle._buffer.append(wr)
+            start = sim.now
+            yield from handle.post_send()
+            yield from handle.sync()
+            if latency_samples and sim.now >= warmup_ns:
+                latencies.append(sim.now - start)
+
+    rng = random.Random(seed)
+    if smart_threads:
+        for smart in smart_threads:
+            sim.spawn(smart_worker(smart, random.Random(rng.random())))
+    else:
+        for thread in compute.threads:
+            sim.spawn(raw_worker(thread, random.Random(rng.random())))
+
+    sim.run(until=warmup_ns)
+    snapshot = compute.device.counters.snapshot()
+    sim.run(until=warmup_ns + measure_ns)
+    window = compute.device.counters.delta(snapshot)
+
+    throughput_mops = window.cqe_delivered / measure_ns * 1e3
+    result = MicrobenchResult(
+        policy=policy,
+        threads=threads,
+        depth=depth,
+        payload=payload,
+        op=op,
+        throughput_mops=throughput_mops,
+        dram_bytes_per_wr=window.dram_bytes_per_wr,
+        doorbells_used=doorbells_used,
+        measured_wrs=window.cqe_delivered,
+    )
+    if latencies:
+        ordered = sorted(latencies)
+        result.batch_latency_p50_ns = percentile(ordered, 0.50)
+        result.batch_latency_p99_ns = percentile(ordered, 0.99)
+    return result
+
+
+@dataclass
+class DynamicWorkloadResult:
+    """Table-1 style measurement under a changing thread count."""
+
+    changing_interval_ns: float
+    throttled: bool
+    throughput_mops: float
+
+
+def run_dynamic_microbench(
+    changing_interval_ns: float,
+    throttled: bool,
+    depth: int = 64,
+    thread_range: Sequence[int] = (36, 96),
+    payload: int = 8,
+    total_ns: float = 20e6,
+    config: Optional[RnicConfig] = None,
+    features: Optional[SmartFeatures] = None,
+    seed: int = 1,
+) -> DynamicWorkloadResult:
+    """The Table-1 experiment: the number of *active* threads jumps
+    between ``thread_range`` bounds every ``changing_interval_ns``.
+
+    With throttling enabled, the adaptive C_max search keeps the
+    outstanding-WR count near the sweet spot as long as the workload is
+    stable for at least one epoch; faster changes leave C_max stale.
+    """
+    max_threads = max(thread_range)
+    if features is None:
+        base = SmartFeatures() if throttled else baseline_features().with_overrides(
+            thread_aware_alloc=True
+        )
+        features = base.with_overrides(
+            backoff=False, dynamic_backoff_limit=False, coroutine_throttling=False
+        )
+    cluster = Cluster(config)
+    compute = cluster.add_node()
+    compute.add_threads(max_threads)
+    remotes = cluster.add_nodes(1)
+    region = remotes[0].storage.alloc_region(
+        "bench", min(DEFAULT_REGION_BYTES, remotes[0].storage.capacity - 4096)
+    )
+    context = SmartContext(compute, remotes, features)
+    smart_threads = [
+        SmartThread(t, features, seed=seed + i) for i, t in enumerate(compute.threads)
+    ]
+
+    sim = cluster.sim
+    active = [min(thread_range)]
+    rng = random.Random(seed)
+
+    def worker(index: int, smart: SmartThread, wrng: random.Random):
+        handle = smart.handle()
+        blade = remotes[0].storage
+        while True:
+            if index >= active[0]:
+                yield sim.timeout(changing_interval_ns / 8)
+                continue
+            for wr in _make_wrs("read", payload, depth, region.base, region.size,
+                                wrng, blade):
+                handle._buffer.append(wr)
+            yield from handle.post_send()
+            yield from handle.sync()
+
+    def controller():
+        choices = list(thread_range)
+        while True:
+            yield sim.timeout(changing_interval_ns)
+            active[0] = choices[rng.randrange(len(choices))]
+
+    for i, smart in enumerate(smart_threads):
+        sim.spawn(worker(i, smart, random.Random(rng.random())))
+    sim.spawn(controller())
+
+    warmup = min(2e6, total_ns / 10)
+    sim.run(until=warmup)
+    snapshot = compute.device.counters.snapshot()
+    sim.run(until=total_ns)
+    window = compute.device.counters.delta(snapshot)
+    throughput = window.cqe_delivered / (total_ns - warmup) * 1e3
+    return DynamicWorkloadResult(changing_interval_ns, throttled, throughput)

@@ -1,0 +1,96 @@
+"""Reference-result comparison (the artifact's ``ae/raw-reference`` role).
+
+``benchmarks/results/`` holds the series produced by the last bench run;
+``benchmarks/reference/`` holds a committed snapshot.  Because the
+simulator is deterministic for a fixed seed and grid, a healthy checkout
+reproduces the reference numbers within a tight tolerance (drift signals
+an unintended model change).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+_NUMBER = re.compile(r"-?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?")
+
+
+@dataclass
+class Comparison:
+    """Outcome of comparing one results file against its reference."""
+
+    name: str
+    compared_values: int = 0
+    mismatches: List[Tuple[int, float, float]] = field(default_factory=list)
+    missing_reference: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.missing_reference and not self.mismatches
+
+
+def extract_numbers(text: str) -> List[float]:
+    """All numeric literals from a results table, in reading order.
+
+    Chart lines and prose are skipped: only rows between the header rule
+    (``---``) and the first blank line are parsed.
+    """
+    numbers: List[float] = []
+    in_table = False
+    for line in text.splitlines():
+        if set(line.strip()) and set(line.strip()) <= {"-", " "}:
+            in_table = True
+            continue
+        if in_table:
+            if not line.strip() or line.startswith(("paper:", "note:")):
+                break
+            numbers.extend(float(m) for m in _NUMBER.findall(line))
+    return numbers
+
+
+def compare_file(
+    results_path: pathlib.Path,
+    reference_dir: pathlib.Path,
+    rel_tolerance: float = 0.05,
+    abs_tolerance: float = 0.05,
+) -> Comparison:
+    """Compare one results file to its committed reference."""
+    comparison = Comparison(results_path.name)
+    reference_path = reference_dir / results_path.name
+    if not reference_path.exists():
+        comparison.missing_reference = True
+        return comparison
+    measured = extract_numbers(results_path.read_text())
+    expected = extract_numbers(reference_path.read_text())
+    if len(measured) != len(expected):
+        comparison.mismatches.append((-1, float(len(expected)), float(len(measured))))
+        return comparison
+    for index, (want, got) in enumerate(zip(expected, measured)):
+        comparison.compared_values += 1
+        scale = max(abs(want), abs_tolerance)
+        if abs(got - want) > rel_tolerance * scale + abs_tolerance:
+            comparison.mismatches.append((index, want, got))
+    return comparison
+
+
+def compare_all(
+    results_dir: pathlib.Path,
+    reference_dir: pathlib.Path,
+    rel_tolerance: float = 0.05,
+) -> List[Comparison]:
+    return [
+        compare_file(path, reference_dir, rel_tolerance)
+        for path in sorted(results_dir.glob("*.txt"))
+    ]
+
+
+def snapshot(results_dir: pathlib.Path, reference_dir: pathlib.Path) -> int:
+    """Copy the current results into the reference directory."""
+    reference_dir.mkdir(parents=True, exist_ok=True)
+    count = 0
+    for path in sorted(results_dir.glob("*.txt")):
+        (reference_dir / path.name).write_text(path.read_text())
+        count += 1
+    return count

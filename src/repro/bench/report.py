@@ -1,0 +1,40 @@
+"""Plain-text table formatting for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+    floatfmt: str = ".2f",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(format(cell, floatfmt))
+            else:
+                cells.append(str(cell))
+        rendered.append(cells)
+    widths = [len(h) for h in headers]
+    for cells in rendered:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in rendered:
+        lines.append("  ".join(cells[i].rjust(widths[i]) for i in range(len(cells))))
+    return "\n".join(lines)
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe speedup ratio (0 when the denominator is 0)."""
+    return numerator / denominator if denominator else 0.0

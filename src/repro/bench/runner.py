@@ -1,0 +1,404 @@
+"""Application experiment runner.
+
+Builds a cluster, deploys an application (hash table / B+Tree / DTX),
+spawns client threads x coroutines, and measures throughput/latency over
+a warm window — the common skeleton behind Figures 5 and 7-12.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.apps.race.client import HashTableClient
+from repro.apps.race.server import HashTableServer
+from repro.cluster import Cluster, Node
+from repro.core import OperationStats, SmartContext, SmartFeatures, SmartThread
+from repro.core.features import baseline, full
+from repro.rnic.config import RnicConfig
+from repro.workloads.ycsb import INSERT, READ, UPDATE, YcsbWorkload
+
+#: Scaled-down adaptive-throttling epoch so the C_max search converges
+#: within millisecond-scale simulations (the paper's 8 ms Δ assumes
+#: multi-second runs; ratios are preserved).
+BENCH_DELTA_NS = 0.3e6
+
+#: Scaled-down γ sampling window (paper: 1 ms) for the same reason: the
+#: t_max/c_max controller needs tens of windows to converge.
+BENCH_RETRY_WINDOW_NS = 0.05e6
+
+
+def bench_features(features: SmartFeatures) -> SmartFeatures:
+    """Apply the bench-scale controller periods to a feature set."""
+    if features.dynamic_backoff_limit or features.coroutine_throttling:
+        features = features.with_overrides(retry_window_ns=BENCH_RETRY_WINDOW_NS)
+    if features.work_req_throttling and features.adaptive_credit:
+        features = features.with_overrides(update_delta_ns=BENCH_DELTA_NS)
+    return features
+
+
+SYSTEM_FEATURES: Dict[str, Callable[[], SmartFeatures]] = {
+    "race": baseline,
+    "smart-ht": full,
+    "ford": baseline,
+    "smart-dtx": full,
+    "sherman": baseline,
+    "smart-bt": full,
+}
+
+
+@dataclass
+class RunResult:
+    """Aggregated outcome of one experiment point."""
+
+    system: str
+    workload: str
+    threads: int
+    coroutines: int
+    compute_blades: int
+    throughput_mops: float
+    p50_latency_ns: Optional[float]
+    p99_latency_ns: Optional[float]
+    avg_retries: float
+    retry_distribution: Dict[int, float]
+    ops: int
+    measure_ns: float
+
+    @property
+    def total_threads(self) -> int:
+        return self.threads * self.compute_blades
+
+
+@dataclass
+class Deployment:
+    """A wired cluster ready to run client coroutines."""
+
+    cluster: Cluster
+    compute_nodes: List[Node]
+    memory_nodes: List[Node]
+    smart_threads: List[SmartThread]
+    features: SmartFeatures
+
+
+def build_deployment(
+    features: SmartFeatures,
+    threads: int,
+    compute_blades: int = 1,
+    memory_blades: int = 2,
+    config: Optional[RnicConfig] = None,
+    seed: int = 0,
+) -> Deployment:
+    """Create the cluster and per-thread SMART state for an experiment."""
+    features = bench_features(features)
+    cluster = Cluster(config)
+    compute_nodes = cluster.add_nodes(compute_blades)
+    memory_nodes = cluster.add_nodes(memory_blades)
+    smart_threads: List[SmartThread] = []
+    for blade_index, node in enumerate(compute_nodes):
+        node.add_threads(threads)
+        SmartContext(node, memory_nodes, features)
+        for thread in node.threads:
+            smart_threads.append(
+                SmartThread(thread, features, seed=seed + blade_index * 1000)
+            )
+    return Deployment(cluster, compute_nodes, memory_nodes, smart_threads, features)
+
+
+def measure(
+    deployment: Deployment,
+    warmup_ns: float,
+    measure_ns: float,
+) -> OperationStats:
+    """Run warmup, reset stats, run the measured window, merge stats."""
+    features = deployment.features
+    if features.work_req_throttling and features.adaptive_credit:
+        update_phase = len(features.cmax_candidates) * features.update_delta_ns
+        warmup_ns = max(warmup_ns, update_phase + 0.5e6)
+    sim = deployment.cluster.sim
+    sim.run(until=warmup_ns)
+    for smart in deployment.smart_threads:
+        smart.stats.reset()
+    sim.run(until=warmup_ns + measure_ns)
+    return OperationStats.merge([s.stats for s in deployment.smart_threads])
+
+
+def result_from_stats(
+    stats: OperationStats,
+    system: str,
+    workload: str,
+    threads: int,
+    coroutines: int,
+    compute_blades: int,
+    measure_ns: float,
+) -> RunResult:
+    return RunResult(
+        system=system,
+        workload=workload,
+        threads=threads,
+        coroutines=coroutines,
+        compute_blades=compute_blades,
+        throughput_mops=stats.ops / measure_ns * 1e3,
+        p50_latency_ns=stats.latency_percentile_ns(0.50),
+        p99_latency_ns=stats.latency_percentile_ns(0.99),
+        avg_retries=stats.avg_retries,
+        retry_distribution=stats.retry_distribution(),
+        ops=stats.ops,
+        measure_ns=measure_ns,
+    )
+
+
+# -- hash table experiments (Figures 5, 7, 8, 9) -------------------------------
+
+
+def run_hashtable(
+    system: str = "smart-ht",
+    workload: Optional[YcsbWorkload] = None,
+    threads: int = 8,
+    coroutines: int = 8,
+    compute_blades: int = 1,
+    memory_blades: int = 2,
+    item_count: int = 100_000,
+    features: Optional[SmartFeatures] = None,
+    config: Optional[RnicConfig] = None,
+    warmup_ns: float = 1.0e6,
+    measure_ns: float = 2.0e6,
+    seed: int = 0,
+    throttle_gap_ns: float = 0.0,
+) -> RunResult:
+    """One point of the hash-table experiments.
+
+    ``throttle_gap_ns`` inserts idle time between ops (used by the
+    Fig-9 throughput/latency curve to sweep offered load).
+    """
+    from repro.workloads.ycsb import WRITE_HEAVY
+
+    workload = workload or WRITE_HEAVY
+    if features is None:
+        features = SYSTEM_FEATURES[system]()
+    deployment = build_deployment(
+        features, threads, compute_blades, memory_blades, config, seed
+    )
+
+    # Size the table for ~30% load so splits stay out of the window; a
+    # freak both-buckets-full collision during loading retries with a
+    # doubled directory.
+    slots_needed = int(item_count / 0.30)
+    buckets = 512
+    segments = 1
+    while segments * buckets * 7 < slots_needed:
+        segments *= 2
+    server = None
+    for _ in range(3):
+        try:
+            server = HashTableServer(
+                deployment.memory_nodes,
+                segments=segments,
+                buckets_per_segment=buckets,
+                heap_bytes_per_blade=max(8 << 20, item_count * 64),
+            )
+            server.bulk_load(YcsbWorkload.load_items(item_count, seed))
+            break
+        except MemoryError:
+            segments *= 2
+            deployment = build_deployment(
+                features, threads, compute_blades, memory_blades, config, seed
+            )
+    else:
+        raise MemoryError("could not load the table even after resizing")
+    meta = server.meta()
+
+    sim = deployment.cluster.sim
+
+    def client_coroutine(smart: SmartThread, stream):
+        client = HashTableClient(smart.handle(), meta)
+        for op, key, value in stream:
+            if op == READ:
+                yield from client.search(key)
+            elif op == UPDATE:
+                yield from client.update(key, value)
+            elif op == INSERT:
+                yield from client.insert(key, value)
+            if throttle_gap_ns > 0:
+                yield sim.timeout(throttle_gap_ns)
+
+    stream_seed = random.Random(seed)
+    for smart in deployment.smart_threads:
+        for _ in range(coroutines):
+            stream = workload.stream(item_count, stream_seed.getrandbits(31))
+            sim.spawn(client_coroutine(smart, stream))
+
+    stats = measure(deployment, warmup_ns, measure_ns)
+    return result_from_stats(
+        stats, system, workload.name, threads, coroutines, compute_blades, measure_ns
+    )
+
+
+# -- distributed transaction experiments (Figures 10, 11) ---------------------
+
+
+def run_dtx(
+    system: str = "smart-dtx",
+    benchmark: str = "smallbank",
+    threads: int = 8,
+    coroutines: int = 8,
+    compute_blades: int = 1,
+    memory_blades: int = 2,
+    item_count: int = 100_000,
+    features: Optional[SmartFeatures] = None,
+    config: Optional[RnicConfig] = None,
+    warmup_ns: float = 1.0e6,
+    measure_ns: float = 2.0e6,
+    seed: int = 0,
+    throttle_gap_ns: float = 0.0,
+) -> RunResult:
+    """One point of the FORD / SMART-DTX experiments (throughput in
+    committed M txn/s)."""
+    from repro.apps.ford.server import DtxServer
+    from repro.apps.ford.txn import TxnClient
+    from repro.workloads import smallbank as sb
+    from repro.workloads import tatp as tp
+
+    if features is None:
+        features = SYSTEM_FEATURES[system]()
+    deployment = build_deployment(
+        features, threads, compute_blades, memory_blades, config, seed
+    )
+    server = DtxServer(deployment.memory_nodes, replicas=min(2, memory_blades))
+    if benchmark == "smallbank":
+        tables = sb.setup(server, accounts=item_count)
+    elif benchmark == "tatp":
+        tables = tp.setup(server, subscribers=item_count)
+    else:
+        raise ValueError(f"benchmark must be smallbank or tatp, got {benchmark!r}")
+
+    sim = deployment.cluster.sim
+    stream_seed = random.Random(seed)
+
+    def client_coroutine(smart: SmartThread, seed_value: int):
+        client = TxnClient(smart.handle(), server.alloc_log_ring())
+        if benchmark == "smallbank":
+            stream = sb.transaction_stream(item_count, seed_value)
+            while True:
+                profile, accounts, amount = next(stream)
+                yield from client.run(
+                    lambda txn, p=profile, a=accounts, m=amount: sb.run_profile(
+                        txn, tables, p, a, m
+                    )
+                )
+                if throttle_gap_ns > 0:
+                    yield sim.timeout(throttle_gap_ns)
+        else:
+            stream = tp.transaction_stream(item_count, seed_value)
+            while True:
+                profile, sub, aux = next(stream)
+                yield from client.run(
+                    lambda txn, p=profile, s=sub, x=aux: tp.run_profile(
+                        txn, tables, p, s, x
+                    )
+                )
+                if throttle_gap_ns > 0:
+                    yield sim.timeout(throttle_gap_ns)
+
+    for smart in deployment.smart_threads:
+        for _ in range(coroutines):
+            sim.spawn(client_coroutine(smart, stream_seed.getrandbits(31)))
+
+    stats = measure(deployment, warmup_ns, measure_ns)
+    return result_from_stats(
+        stats, system, benchmark, threads, coroutines, compute_blades, measure_ns
+    )
+
+
+# -- B+Tree experiments (Figure 12) --------------------------------------------
+
+
+def run_btree(
+    system: str = "smart-bt",
+    workload: Optional[YcsbWorkload] = None,
+    threads: int = 8,
+    coroutines: int = 8,
+    servers: int = 1,
+    item_count: int = 100_000,
+    features: Optional[SmartFeatures] = None,
+    config: Optional[RnicConfig] = None,
+    warmup_ns: float = 1.0e6,
+    measure_ns: float = 2.0e6,
+    seed: int = 0,
+    speculative: Optional[bool] = None,
+    client_cpu_ns: float = 2000.0,
+    throttle_gap_ns: float = 0.0,
+    hopl: bool = True,
+) -> RunResult:
+    """One point of the Sherman / SMART-BT experiments.
+
+    Matching the paper's setup, every server is both a memory blade and a
+    compute blade (``servers`` scales both out together).  Systems:
+    ``sherman`` (Sherman+), ``sherman-sl`` (Sherman+ w/ speculative
+    lookup) and ``smart-bt``.  ``hopl=False`` degrades node locks to naive
+    remote CAS spinlocks (the §3.3 behaviour HOPL avoids) — used by the
+    HOPL ablation bench.
+    """
+    from repro.apps.sherman.client import BTreeClient, LocalLockTable, SpeculativeCache
+    from repro.apps.sherman.server import BTreeServer
+    from repro.workloads.ycsb import WRITE_HEAVY
+
+    workload = workload or WRITE_HEAVY
+    if features is None:
+        base = {"sherman": "sherman", "sherman-sl": "sherman", "smart-bt": "smart-bt"}
+        features = SYSTEM_FEATURES[base[system]]()
+    if speculative is None:
+        speculative = system in ("sherman-sl", "smart-bt")
+    features = bench_features(features)
+
+    cluster = Cluster(config)
+    nodes = cluster.add_nodes(servers)
+    server = BTreeServer(nodes, heap_bytes_per_blade=max(16 << 20, item_count * 64))
+    rng = random.Random(seed)
+    server.bulk_load([(k, rng.getrandbits(32)) for k in range(item_count)])
+    meta = server.meta()
+
+    smart_threads: List[SmartThread] = []
+    clients_per_node = []
+    for blade_index, node in enumerate(nodes):
+        node.add_threads(threads)
+        SmartContext(node, nodes, features)
+        index_cache: Dict = {}
+        locks = LocalLockTable(cluster.sim, use_local_queues=hopl)
+        spec = SpeculativeCache() if speculative else None
+        node_threads = []
+        for thread in node.threads:
+            smart = SmartThread(thread, features, seed=seed + blade_index * 1000)
+            smart_threads.append(smart)
+            node_threads.append((smart, index_cache, locks, spec))
+        clients_per_node.append(node_threads)
+
+    sim = cluster.sim
+    stream_seed = random.Random(seed)
+
+    def client_coroutine(smart, index_cache, locks, spec, stream):
+        client = BTreeClient(
+            smart.handle(), meta, index_cache, locks, spec_cache=spec,
+            client_cpu_ns=client_cpu_ns,
+        )
+        for op, key, value in stream:
+            if op == READ:
+                yield from client.lookup(key)
+            elif op == UPDATE:
+                yield from client.update(key, value)
+            elif op == INSERT:
+                yield from client.insert(key, value)
+            if throttle_gap_ns > 0:
+                yield sim.timeout(throttle_gap_ns)
+
+    for node_threads in clients_per_node:
+        for smart, index_cache, locks, spec in node_threads:
+            for _ in range(coroutines):
+                stream = workload.stream(item_count, stream_seed.getrandbits(31))
+                sim.spawn(client_coroutine(smart, index_cache, locks, spec, stream))
+
+    deployment = Deployment(cluster, nodes, nodes, smart_threads, features)
+    stats = measure(deployment, warmup_ns, measure_ns)
+    return result_from_stats(
+        stats, system, workload.name, threads, coroutines, servers, measure_ns
+    )

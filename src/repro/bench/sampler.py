@@ -1,0 +1,47 @@
+"""Time-series sampling of device counters during a simulation.
+
+Used to visualize throughput over time (e.g. while the adaptive
+work-request throttling searches for C_max, or while a dynamic workload
+changes its thread count — the Table-1 mechanism).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.rnic.device import RnicDevice
+from repro.sim import Simulator
+
+
+class CounterSampler:
+    """Samples a device's completed-WR counter on a fixed period."""
+
+    def __init__(self, sim: Simulator, device: RnicDevice, period_ns: float):
+        if period_ns <= 0:
+            raise ValueError("period must be positive")
+        self.sim = sim
+        self.device = device
+        self.period_ns = period_ns
+        #: [(time_ns, MOPS over the last period)]
+        self.samples: List[Tuple[int, float]] = []
+        self._stopped = False
+        sim.spawn(self._loop(), name="counter-sampler")
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _loop(self):
+        last = self.device.counters.cqe_delivered
+        while not self._stopped:
+            yield self.sim.timeout(self.period_ns)
+            current = self.device.counters.cqe_delivered
+            mops = (current - last) / self.period_ns * 1e3
+            self.samples.append((self.sim.now, mops))
+            last = current
+
+    def throughputs(self) -> List[float]:
+        return [mops for _, mops in self.samples]
+
+    def mean_mops(self) -> Optional[float]:
+        values = self.throughputs()
+        return sum(values) / len(values) if values else None

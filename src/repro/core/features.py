@@ -1,0 +1,93 @@
+"""Feature switches for SMART's techniques.
+
+The paper's breakdown experiments (Figures 8, 13, 14) enable the
+techniques one at a time; this dataclass is the single switchboard the
+benches flip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class SmartFeatures:
+    """Which SMART techniques are active."""
+
+    thread_aware_alloc: bool = True
+    """§4.1 — per-thread QPs *and* per-thread doorbell registers."""
+
+    work_req_throttling: bool = True
+    """§4.2 — credit-based outstanding-WR throttling (Algorithm 1)."""
+
+    adaptive_credit: bool = True
+    """§4.2 — run the epoch-based UPDATE search for the best C_max.
+    With throttling on but this off, C_max stays at ``initial_cmax``."""
+
+    backoff: bool = True
+    """§4.3 — truncated exponential backoff on failed CAS."""
+
+    dynamic_backoff_limit: bool = True
+    """§4.3 — adapt t_max to the observed retry rate."""
+
+    coroutine_throttling: bool = True
+    """§4.3 — throttle concurrent operations per thread (c_max)."""
+
+    # -- tunables (paper defaults) -------------------------------------------
+    initial_cmax: int = 8
+    cmax_candidates: tuple = (4, 6, 8, 10, 12)
+    update_delta_ns: float = 8e6
+    """Δ: candidate evaluation window (8 ms)."""
+
+    stable_epochs: int = 60
+    """Stable phase length in Δ units (60 x 8 ms = 480 ms)."""
+
+    backoff_unit_cycles: int = 4096
+    """t0 ~ one RDMA roundtrip on the testbed CPU."""
+
+    backoff_max_exponent: int = 10
+    """t_M = 2^10 x t0 ~ 1.6 ms, the hard backoff ceiling."""
+
+    retry_rate_high: float = 0.5
+    retry_rate_low: float = 0.1
+    retry_window_ns: float = 1e6
+    """γ sampling window (every millisecond)."""
+
+    max_coroutine_credits: int = 64
+    """Upper bound for c_max (effectively 'unthrottled')."""
+
+    def with_overrides(self, **kwargs) -> "SmartFeatures":
+        return replace(self, **kwargs)
+
+
+def baseline() -> SmartFeatures:
+    """Everything off: behaves like a conventional per-thread-QP client."""
+    return SmartFeatures(
+        thread_aware_alloc=False,
+        work_req_throttling=False,
+        adaptive_credit=False,
+        backoff=False,
+        dynamic_backoff_limit=False,
+        coroutine_throttling=False,
+    )
+
+
+def full() -> SmartFeatures:
+    """All of SMART (the defaults)."""
+    return SmartFeatures()
+
+
+def cumulative_ladder():
+    """The Fig-8 breakdown: baseline, +ThdResAlloc, +WorkReqThrot, +ConflictAvoid."""
+    base = baseline()
+    thd = base.with_overrides(thread_aware_alloc=True)
+    throt = thd.with_overrides(work_req_throttling=True, adaptive_credit=True)
+    conflict = throt.with_overrides(
+        backoff=True, dynamic_backoff_limit=True, coroutine_throttling=True
+    )
+    return [
+        ("baseline", base),
+        ("+ThdResAlloc", thd),
+        ("+WorkReqThrot", throt),
+        ("+ConflictAvoid", conflict),
+    ]

@@ -1,0 +1,73 @@
+"""Operation-level statistics collected by SMART handles and app clients."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional
+
+from repro.sim.rng import percentile
+
+
+class OperationStats:
+    """Throughput / latency / retry accounting for one client thread."""
+
+    MAX_LATENCY_SAMPLES = 200_000
+
+    def __init__(self):
+        self.ops = 0
+        self.retries = 0
+        self.failed_ops = 0
+        self.retry_histogram: Counter = Counter()
+        self.latencies_ns: List[float] = []
+        self._sample_stride = 1
+        #: set by the runner at the start of the measurement window; ops
+        #: before that are warmup and only counted if recording is on
+        self.recording = True
+
+    def record_op(self, latency_ns: float, retries: int = 0, failed: bool = False) -> None:
+        if not self.recording:
+            return
+        self.ops += 1
+        self.retries += retries
+        self.retry_histogram[min(retries, 32)] += 1
+        if failed:
+            self.failed_ops += 1
+        if self.ops % self._sample_stride == 0:
+            self.latencies_ns.append(latency_ns)
+            if len(self.latencies_ns) >= self.MAX_LATENCY_SAMPLES:
+                # Keep every other sample and double the stride.
+                self.latencies_ns = self.latencies_ns[::2]
+                self._sample_stride *= 2
+
+    def reset(self) -> None:
+        self.__init__()
+
+    # -- aggregation -------------------------------------------------------
+
+    @staticmethod
+    def merge(parts: List["OperationStats"]) -> "OperationStats":
+        total = OperationStats()
+        for part in parts:
+            total.ops += part.ops
+            total.retries += part.retries
+            total.failed_ops += part.failed_ops
+            total.retry_histogram.update(part.retry_histogram)
+            total.latencies_ns.extend(part.latencies_ns)
+        total.latencies_ns.sort()
+        return total
+
+    @property
+    def avg_retries(self) -> float:
+        return self.retries / self.ops if self.ops else 0.0
+
+    def latency_percentile_ns(self, fraction: float) -> Optional[float]:
+        if not self.latencies_ns:
+            return None
+        return percentile(sorted(self.latencies_ns), fraction)
+
+    def retry_distribution(self) -> Dict[int, float]:
+        """Fraction of ops by retry count (Fig 14c)."""
+        total = sum(self.retry_histogram.values())
+        if total == 0:
+            return {}
+        return {k: v / total for k, v in sorted(self.retry_histogram.items())}

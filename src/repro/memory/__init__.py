@@ -1,0 +1,26 @@
+"""Memory-blade substrate: byte-addressable remote memory.
+
+A memory blade owns a flat byte space carved into regions (DRAM or NVM).
+One-sided operations (READ/WRITE/CAS/FAA) execute atomically at a single
+simulated instant, which is exactly the atomicity an RNIC provides for
+8-byte atomics and cacheline-sized accesses.
+"""
+
+from repro.memory.address import (
+    BLADE_SHIFT,
+    NULL_ADDR,
+    blade_of,
+    make_addr,
+    offset_of,
+)
+from repro.memory.blade import MemoryBlade, Region
+
+__all__ = [
+    "BLADE_SHIFT",
+    "MemoryBlade",
+    "NULL_ADDR",
+    "Region",
+    "blade_of",
+    "make_addr",
+    "offset_of",
+]

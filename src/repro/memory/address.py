@@ -1,0 +1,36 @@
+"""Global 64-bit addresses: ``blade_id`` in the top 16 bits, offset below.
+
+Applications store these addresses inside 8-byte slots (RACE bucket slots,
+B+Tree child pointers), so the encoding must round-trip through the byte
+representation used by the simulated memory.
+"""
+
+from __future__ import annotations
+
+BLADE_SHIFT = 48
+OFFSET_MASK = (1 << BLADE_SHIFT) - 1
+NULL_ADDR = 0
+
+
+def make_addr(blade_id: int, offset: int) -> int:
+    """Pack a (blade, offset) pair into one 64-bit global address."""
+    if not 0 <= blade_id < (1 << 15):
+        raise ValueError(f"blade_id out of range: {blade_id}")
+    if not 0 <= offset <= OFFSET_MASK:
+        raise ValueError(f"offset out of range: {offset}")
+    # +1 so that a valid address is never 0 (0 is the null pointer).
+    return ((blade_id + 1) << BLADE_SHIFT) | offset
+
+
+def blade_of(addr: int) -> int:
+    """Blade id of a packed address."""
+    if addr == NULL_ADDR:
+        raise ValueError("null address")
+    return (addr >> BLADE_SHIFT) - 1
+
+
+def offset_of(addr: int) -> int:
+    """Offset-within-blade of a packed address."""
+    if addr == NULL_ADDR:
+        raise ValueError("null address")
+    return addr & OFFSET_MASK

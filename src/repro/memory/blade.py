@@ -1,0 +1,150 @@
+"""The memory blade: a big byte array plus region bookkeeping.
+
+Memory blades in the paper have "near-zero compute" (1-2 weak cores): they
+never post RDMA requests, so their RNIC only runs the responder pipeline.
+The blade therefore exposes only *data* operations here; the timing of
+remote access lives in :mod:`repro.rnic.engine`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.memory.address import make_addr
+
+_U64 = struct.Struct("<Q")
+U64_MAX = (1 << 64) - 1
+
+
+@dataclass
+class Region:
+    """A named range of blade memory."""
+
+    name: str
+    base: int
+    size: int
+    persistent: bool = False
+    #: registered for one-sided remote access (an MR in the blade's MPT);
+    #: only checked when the RNIC enforces protection
+    remote_access: bool = True
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, offset: int, size: int = 1) -> bool:
+        return self.base <= offset and offset + size <= self.end
+
+
+class MemoryBlade:
+    """Byte-addressable memory of one blade.
+
+    All accessors take *offsets* local to this blade; global addresses are
+    translated by callers via :mod:`repro.memory.address`.
+    """
+
+    def __init__(self, blade_id: int, capacity: int = 64 << 20):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.blade_id = blade_id
+        self.capacity = capacity
+        self._memory = bytearray(capacity)
+        self._regions: Dict[str, Region] = {}
+        self._next_free = 8  # offset 0 reserved so no object lives at NULL
+        # Statistics
+        self.reads = 0
+        self.writes = 0
+        self.atomics = 0
+        self.failed_cas = 0
+
+    # -- region management --------------------------------------------------
+
+    def alloc_region(self, name: str, size: int, persistent: bool = False,
+                     remote_access: bool = True) -> Region:
+        """Carve a fresh region; regions are never freed (server-side arena)."""
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already exists")
+        aligned = (self._next_free + 63) & ~63  # cacheline-align regions
+        if aligned + size > self.capacity:
+            raise MemoryError(
+                f"blade {self.blade_id}: out of memory allocating {name!r} "
+                f"({size} bytes, {self.capacity - aligned} free)"
+            )
+        region = Region(name, aligned, size, persistent, remote_access)
+        self._regions[name] = region
+        self._next_free = aligned + size
+        return region
+
+    def find_region(self, offset: int, size: int = 1) -> Optional[Region]:
+        """The region fully containing [offset, offset+size), if any."""
+        for region in self._regions.values():
+            if region.contains(offset, size):
+                return region
+        return None
+
+    def region(self, name: str) -> Region:
+        return self._regions[name]
+
+    def regions(self) -> List[Region]:
+        return list(self._regions.values())
+
+    def is_persistent(self, offset: int) -> bool:
+        return any(r.persistent and r.contains(offset) for r in self._regions.values())
+
+    def global_addr(self, offset: int) -> int:
+        return make_addr(self.blade_id, offset)
+
+    # -- data operations -----------------------------------------------------
+
+    def _check(self, offset: int, size: int) -> None:
+        if offset < 0 or offset + size > self.capacity:
+            raise IndexError(
+                f"blade {self.blade_id}: access [{offset}, {offset + size}) "
+                f"outside capacity {self.capacity}"
+            )
+
+    def read(self, offset: int, size: int) -> bytes:
+        self._check(offset, size)
+        self.reads += 1
+        return bytes(self._memory[offset : offset + size])
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._check(offset, len(data))
+        self.writes += 1
+        self._memory[offset : offset + len(data)] = data
+
+    def read_u64(self, offset: int) -> int:
+        self._check(offset, 8)
+        return _U64.unpack_from(self._memory, offset)[0]
+
+    def write_u64(self, offset: int, value: int) -> None:
+        self._check(offset, 8)
+        _U64.pack_into(self._memory, offset, value & U64_MAX)
+
+    def compare_and_swap(self, offset: int, expected: int, desired: int) -> int:
+        """Atomic 8-byte CAS; returns the *old* value (RDMA semantics)."""
+        self._check(offset, 8)
+        self.atomics += 1
+        old = _U64.unpack_from(self._memory, offset)[0]
+        if old == expected:
+            _U64.pack_into(self._memory, offset, desired & U64_MAX)
+        else:
+            self.failed_cas += 1
+        return old
+
+    def fetch_and_add(self, offset: int, delta: int) -> int:
+        """Atomic 8-byte FAA; returns the *old* value."""
+        self._check(offset, 8)
+        self.atomics += 1
+        old = _U64.unpack_from(self._memory, offset)[0]
+        _U64.pack_into(self._memory, offset, (old + delta) & U64_MAX)
+        return old
+
+    # -- bulk loading ---------------------------------------------------------
+
+    def bulk_write(self, offset: int, data: bytes) -> None:
+        """Setup-phase write that bypasses statistics (dataset loading)."""
+        self._check(offset, len(data))
+        self._memory[offset : offset + len(data)] = data

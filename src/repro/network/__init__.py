@@ -1,0 +1,5 @@
+"""Network fabric model (the InfiniBand switch in the paper's testbed)."""
+
+from repro.network.fabric import Fabric
+
+__all__ = ["Fabric"]

@@ -1,0 +1,26 @@
+"""Latency/bandwidth model of the switched fabric.
+
+The paper's testbed is a single 200 Gbps InfiniBand switch with sub-600 ns
+port-to-port latency; end-to-end RTT for small one-sided verbs is ~2 us.
+Per-link serialization is accounted for inside the RNIC processing engines
+(they know payload sizes); the fabric only contributes propagation delay.
+"""
+
+from __future__ import annotations
+
+
+class Fabric:
+    """Propagation-delay model between any two blades."""
+
+    def __init__(self, one_way_latency_ns: float = 1000.0):
+        if one_way_latency_ns < 0:
+            raise ValueError("latency must be >= 0")
+        self.one_way_latency_ns = one_way_latency_ns
+        self.messages = 0
+        self.bytes_carried = 0
+
+    def record(self, payload_bytes: int) -> float:
+        """Account one message and return its propagation delay."""
+        self.messages += 1
+        self.bytes_carried += payload_bytes
+        return self.one_way_latency_ns

@@ -1,0 +1,30 @@
+"""Simulated RNIC: the hardware substrate the paper's analysis targets.
+
+The model reproduces the three structural contention points of §2.2/§3:
+
+* :mod:`repro.rnic.doorbell` — UAR doorbell registers with per-register
+  spinlocks and the mlx5 driver's round-robin QP→doorbell mapping.
+* :mod:`repro.rnic.caches` — the WQE cache (miss rate grows with total
+  outstanding work requests) and the MTT/MPT cache (miss rate grows with
+  the number of device contexts).
+* :mod:`repro.rnic.engine` — requester/responder pipelines with the CX-6
+  IOPS ceiling and NIC/PCIe bandwidth ceilings.
+"""
+
+from repro.rnic.config import RnicConfig
+from repro.rnic.counters import PerfCounters
+from repro.rnic.device import DeviceContext, RnicDevice
+from repro.rnic.doorbell import Doorbell
+from repro.rnic.qp import CompletionQueue, QueuePair, WorkBatch, WorkRequest
+
+__all__ = [
+    "CompletionQueue",
+    "DeviceContext",
+    "Doorbell",
+    "PerfCounters",
+    "QueuePair",
+    "RnicConfig",
+    "RnicDevice",
+    "WorkBatch",
+    "WorkRequest",
+]

@@ -1,0 +1,78 @@
+"""On-chip cache models: WQE cache and MTT/MPT translation cache.
+
+Vendors keep the actual sizes and replacement policies confidential
+(§3.2), so both models are behavioural fits to the paper's measurements
+rather than structural SRAM simulations:
+
+* WQE cache — per-WR miss probability is a convex function of the number
+  of outstanding work requests (OWRs) on the device.  Below capacity the
+  working set fits and misses are negligible; above it, misses climb
+  toward 1 with shape exponent ``wqe_miss_shape``.
+* MTT/MPT cache — hit ratio depends on the number of device contexts
+  (each context registers its own MRs); one shared context hits >95%,
+  many contexts decay toward 70% (§2.2).
+"""
+
+from __future__ import annotations
+
+from repro.rnic.config import RnicConfig
+
+
+class WqeCacheModel:
+    """Miss-rate and cost model for the WQE cache."""
+
+    def __init__(self, config: RnicConfig):
+        self._config = config
+
+    def miss_rate(self, outstanding: int) -> float:
+        """Per-WR probability of a WQE fetch missing to host DRAM."""
+        capacity = self._config.wqe_cache_capacity
+        if outstanding <= capacity or outstanding <= 0:
+            return 0.0
+        overflow = 1.0 - capacity / outstanding
+        return overflow ** self._config.wqe_miss_shape
+
+    def service_multiplier(self, outstanding: int) -> float:
+        """Inflation of per-WQE processing time due to PCIe DMA re-reads."""
+        return 1.0 + self._config.wqe_miss_penalty * self.miss_rate(outstanding)
+
+    def dma_bytes_per_wr(self, outstanding: int) -> float:
+        """Host DRAM traffic per WR (the Fig-4b metric).
+
+        Traffic grows with the *linear* overflow fraction: every WR whose
+        WQE was evicted is re-fetched over PCIe exactly once.
+        """
+        capacity = self._config.wqe_cache_capacity
+        base = self._config.wr_base_dma_bytes
+        if outstanding <= capacity or outstanding <= 0:
+            return base
+        overflow = 1.0 - capacity / outstanding
+        return base + self._config.wqe_miss_dma_bytes * overflow
+
+
+class MttCacheModel:
+    """Hit-ratio model for the MTT/MPT translation cache."""
+
+    def __init__(self, config: RnicConfig):
+        self._config = config
+
+    def hit_ratio(self, context_count: int) -> float:
+        if context_count <= 0:
+            raise ValueError("context_count must be >= 1")
+        config = self._config
+        decayed = config.mtt_shared_hit - config.mtt_hit_decay_per_context * (
+            context_count - 1
+        )
+        return max(config.mtt_hit_floor, decayed)
+
+    def service_multiplier(self, context_count: int) -> float:
+        """Inflation relative to the shared-context baseline.
+
+        The baseline (one context, 95% hit) is folded into ``max_iops``, so
+        only the *excess* miss rate costs extra.
+        """
+        config = self._config
+        baseline_miss = 1.0 - config.mtt_shared_hit
+        miss = 1.0 - self.hit_ratio(context_count)
+        excess = max(0.0, miss - baseline_miss)
+        return 1.0 + config.mtt_miss_penalty * excess

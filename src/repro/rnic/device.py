@@ -1,0 +1,119 @@
+"""The RNIC device: contexts, engines, caches and counters."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim import Simulator
+from repro.rnic.caches import MttCacheModel, WqeCacheModel
+from repro.rnic.config import RnicConfig
+from repro.rnic.counters import PerfCounters
+from repro.rnic.doorbell import Doorbell, DoorbellAllocator
+from repro.rnic.engine import RequesterEngine, ResponderEngine
+from repro.rnic.qp import CompletionQueue, QueuePair, WorkBatch
+
+
+class DeviceContext:
+    """An opened device context (``ibv_open_device`` + PD + MRs).
+
+    Sharing one context across threads keeps the MTT/MPT small (memory is
+    registered once); opening one context per thread multiplies MRs and
+    thrashes the translation cache (§2.2, §4.1).
+    """
+
+    def __init__(self, device: "RnicDevice", total_uuars: int):
+        self.device = device
+        self.uar = DoorbellAllocator(device.sim, device.config, total_uuars)
+        self.mr_count = 0
+        self.qps: List[QueuePair] = []
+
+    def register_mr(self) -> None:
+        self.mr_count += 1
+
+    def create_qp(
+        self,
+        remote_node,
+        cq: Optional[CompletionQueue] = None,
+        doorbell: Optional[Doorbell] = None,
+        share_lock=None,
+    ) -> QueuePair:
+        """Create an RC QP to ``remote_node``.
+
+        Without an explicit ``doorbell`` the driver's round-robin mapping
+        applies; passing one emulates SMART's thread-aware binding.
+        """
+        if doorbell is None:
+            doorbell = self.uar.bind_next()
+        else:
+            self.uar.bind_doorbell(doorbell)
+        if cq is None:
+            cq = CompletionQueue(self.device.sim)
+        qp = QueuePair(self, doorbell, cq, remote_node, share_lock)
+        self.qps.append(qp)
+        remote_node.device.accept_connection(qp)
+        return qp
+
+
+class RnicDevice:
+    """One physical RNIC (one per blade)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: RnicConfig,
+        fabric,
+        name: str,
+        storage=None,
+    ):
+        self.sim = sim
+        self.config = config
+        self.fabric = fabric
+        self.name = name
+        #: blade memory served by the responder (None on pure compute blades)
+        self.storage = storage
+        self.contexts: List[DeviceContext] = []
+        self.counters = PerfCounters()
+        self.wqe_cache = WqeCacheModel(config)
+        self.mtt_cache = MttCacheModel(config)
+        self.requester = RequesterEngine(self)
+        self.responder = ResponderEngine(self)
+        #: WRs posted but not yet completed, device-wide (drives the WQE
+        #: cache model)
+        self.outstanding = 0
+        #: optional :class:`repro.rnic.trace.Tracer` for batch lifecycles
+        self.tracer = None
+        #: QPs created by remote peers that terminate at this device
+        self.accepted_qps = 0
+
+    def open_context(self, total_uuars: Optional[int] = None) -> DeviceContext:
+        """Open a device context with ``total_uuars`` doorbells.
+
+        The default mirrors the mlx5 driver (16); SMART raises it via the
+        MLX5_TOTAL_UUARS mechanism so each thread can own a doorbell.
+        """
+        if total_uuars is None:
+            total_uuars = self.config.low_latency_uars + self.config.medium_latency_uars
+        context = DeviceContext(self, total_uuars)
+        self.contexts.append(context)
+        return context
+
+    def accept_connection(self, qp: QueuePair) -> None:
+        """Memory-blade side of RC connection establishment (bookkeeping
+        only — the responder path is insensitive to QP count)."""
+        self.accepted_qps += 1
+
+    def complete(self, batch: WorkBatch) -> None:
+        """Response arrived: DMA the CQEs and wake the poster."""
+        self.outstanding -= len(batch)
+        if self.outstanding < 0:  # pragma: no cover - invariant guard
+            raise RuntimeError(f"{self.name}: negative outstanding WR count")
+        self.counters.cqe_delivered += len(batch)
+        batch.qp.completed_wrs += len(batch)
+        batch.qp.cq.deliver(batch)
+        batch.completed_at = self.sim.now
+        if self.tracer is not None:
+            self.tracer.record(batch.batch_id, "completed", self.sim.now)
+        batch.done.fire(batch)
+
+    def __repr__(self) -> str:
+        return f"RnicDevice({self.name}, contexts={len(self.contexts)})"

@@ -1,0 +1,113 @@
+"""QP allocation policies evaluated in §3.1 (Figure 3).
+
+1. Shared QP        — all threads share a single QP per remote blade.
+2. Multiplexed QP   — each QP is shared by ``q`` threads.
+3. Per-thread QP    — each thread owns a QP per remote blade; the driver's
+                      default round-robin doorbell mapping applies.
+4. Per-thread ctx   — each thread opens a private device context (own
+                      doorbells, but duplicated MRs → MTT/MPT thrashing).
+
+SMART's per-thread-doorbell allocation is the fourth curve of Figure 3 and
+lives in :mod:`repro.core.context` (it is part of the contribution, not a
+baseline).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.sim.resources import SpinLock
+from repro.cluster import Node
+
+
+class ConnectionPolicy:
+    """Sets up ``thread.qps`` for every thread of a compute node."""
+
+    name = "abstract"
+
+    def connect(self, compute_node: Node, memory_nodes: List[Node]) -> None:
+        raise NotImplementedError
+
+
+class SharedQpPolicy(ConnectionPolicy):
+    """One QP per remote blade, shared by every thread [Infiniswap]."""
+
+    name = "shared-qp"
+
+    def connect(self, compute_node: Node, memory_nodes: List[Node]) -> None:
+        context = compute_node.device.open_context()
+        context.register_mr()
+        for remote in memory_nodes:
+            lock = SpinLock(
+                compute_node.sim,
+                name=f"qp-shared-{remote.node_id}",
+                bounce_ns=compute_node.config.doorbell_bounce_ns,
+                bounce_cap=compute_node.config.doorbell_bounce_cap,
+            )
+            qp = context.create_qp(remote, share_lock=lock)
+            for thread in compute_node.threads:
+                thread.qps[remote.node_id] = qp
+
+
+class MultiplexedQpPolicy(ConnectionPolicy):
+    """Each QP shared by ``threads_per_qp`` threads [FaRM, LITE]."""
+
+    def __init__(self, threads_per_qp: int = 4):
+        if threads_per_qp < 1:
+            raise ValueError("threads_per_qp must be >= 1")
+        self.threads_per_qp = threads_per_qp
+        self.name = f"multiplexed-qp(q={threads_per_qp})"
+
+    def connect(self, compute_node: Node, memory_nodes: List[Node]) -> None:
+        context = compute_node.device.open_context()
+        context.register_mr()
+        threads = compute_node.threads
+        groups = math.ceil(len(threads) / self.threads_per_qp)
+        for remote in memory_nodes:
+            qps = []
+            for g in range(groups):
+                lock = SpinLock(
+                    compute_node.sim,
+                    name=f"qp-mux-{remote.node_id}-{g}",
+                    bounce_ns=compute_node.config.doorbell_bounce_ns,
+                    bounce_cap=compute_node.config.doorbell_bounce_cap,
+                )
+                qps.append(context.create_qp(remote, share_lock=lock))
+            for index, thread in enumerate(threads):
+                thread.qps[remote.node_id] = qps[index // self.threads_per_qp]
+
+
+class PerThreadQpPolicy(ConnectionPolicy):
+    """A dedicated QP per thread; default doorbell mapping [Sherman, FORD].
+
+    This is the policy whose throughput collapses past ~32 threads: with
+    16 default doorbells, threads beyond the 4 low-latency ones share the
+    12 medium-latency doorbells round-robin.
+    """
+
+    name = "per-thread-qp"
+
+    def connect(self, compute_node: Node, memory_nodes: List[Node]) -> None:
+        context = compute_node.device.open_context()
+        context.register_mr()
+        for thread in compute_node.threads:
+            for remote in memory_nodes:
+                thread.qps[remote.node_id] = context.create_qp(remote)
+
+
+class PerThreadContextPolicy(ConnectionPolicy):
+    """A private device context (and doorbells) per thread [X-RDMA].
+
+    Avoids doorbell sharing but registers MRs once per context, inflating
+    the MTT/MPT tables and degrading the translation cache (§4.1).
+    """
+
+    name = "per-thread-context"
+
+    def connect(self, compute_node: Node, memory_nodes: List[Node]) -> None:
+        for thread in compute_node.threads:
+            context = compute_node.device.open_context()
+            context.register_mr()
+            for remote in memory_nodes:
+                thread.qps[remote.node_id] = context.create_qp(remote)

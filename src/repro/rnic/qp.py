@@ -1,0 +1,191 @@
+"""Queue pairs, work requests and completion queues."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.sim import Event, Simulator
+from repro.sim.resources import SpinLock
+
+# One-sided verb opcodes (the only ones disaggregated apps use).
+READ = "read"
+WRITE = "write"
+CAS = "cas"
+FAA = "faa"
+
+_OPCODES = frozenset({READ, WRITE, CAS, FAA})
+
+#: Wire overhead per one-sided message (IB transport + RETH headers).
+MESSAGE_OVERHEAD_BYTES = 30
+
+
+class WorkRequest:
+    """One one-sided RDMA operation.
+
+    ``wr_id`` is free for application metadata, exactly like the verbs API
+    (SMART packs the batch size into it, Algorithm 1 line 4).
+    """
+
+    __slots__ = (
+        "opcode",
+        "remote_addr",
+        "size",
+        "payload",
+        "compare",
+        "swap",
+        "delta",
+        "wr_id",
+        "result",
+        "status",
+    )
+
+    STATUS_OK = "ok"
+    STATUS_ACCESS_ERROR = "access-error"
+
+    def __init__(
+        self,
+        opcode: str,
+        remote_addr: int,
+        size: int = 8,
+        payload: Optional[bytes] = None,
+        compare: int = 0,
+        swap: int = 0,
+        delta: int = 0,
+        wr_id: Any = None,
+    ):
+        if opcode not in _OPCODES:
+            raise ValueError(f"unknown opcode {opcode!r}")
+        if opcode == WRITE:
+            if payload is None:
+                raise ValueError("WRITE requires a payload")
+            size = len(payload)
+        if opcode in (CAS, FAA) and size != 8:
+            raise ValueError("atomics operate on 8 bytes")
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self.opcode = opcode
+        self.remote_addr = remote_addr
+        self.size = size
+        self.payload = payload
+        self.compare = compare
+        self.swap = swap
+        self.delta = delta
+        self.wr_id = wr_id
+        self.result: Any = None
+        self.status = WorkRequest.STATUS_OK
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes moved for this WR in its dominant direction."""
+        return self.size + MESSAGE_OVERHEAD_BYTES
+
+    def __repr__(self) -> str:
+        return f"WR({self.opcode}, addr={self.remote_addr:#x}, size={self.size})"
+
+
+def read_wr(remote_addr: int, size: int, wr_id: Any = None) -> WorkRequest:
+    return WorkRequest(READ, remote_addr, size=size, wr_id=wr_id)
+
+
+def write_wr(remote_addr: int, payload: bytes, wr_id: Any = None) -> WorkRequest:
+    return WorkRequest(WRITE, remote_addr, payload=payload, wr_id=wr_id)
+
+
+def cas_wr(remote_addr: int, compare: int, swap: int, wr_id: Any = None) -> WorkRequest:
+    return WorkRequest(CAS, remote_addr, compare=compare, swap=swap, wr_id=wr_id)
+
+
+def faa_wr(remote_addr: int, delta: int, wr_id: Any = None) -> WorkRequest:
+    return WorkRequest(FAA, remote_addr, delta=delta, wr_id=wr_id)
+
+
+class WorkBatch:
+    """A group of WRs posted by one ``post_send`` (one doorbell ring)."""
+
+    __slots__ = ("wrs", "qp", "done", "posted_at", "completed_at", "batch_id")
+
+    _next_batch_id = 0
+
+    def __init__(self, sim: Simulator, qp: "QueuePair", wrs: List[WorkRequest]):
+        if not wrs:
+            raise ValueError("empty work batch")
+        WorkBatch._next_batch_id += 1
+        self.batch_id = WorkBatch._next_batch_id
+        self.wrs = wrs
+        self.qp = qp
+        self.done: Event = sim.event()
+        self.posted_at = sim.now
+        self.completed_at: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.wrs)
+
+    @property
+    def wire_bytes(self) -> int:
+        return sum(wr.wire_bytes for wr in self.wrs)
+
+
+class CompletionQueue:
+    """Completion accounting for one thread's QPs.
+
+    Completions are delivered per batch (the model's granularity); the CQ
+    keeps counters so SMART's poller and the benches can observe them.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "cq"):
+        self._sim = sim
+        self.name = name
+        self.cqes_delivered = 0
+        self.batches_delivered = 0
+
+    def deliver(self, batch: WorkBatch) -> None:
+        self.cqes_delivered += len(batch)
+        self.batches_delivered += 1
+
+
+class QueuePair:
+    """A reliable-connection QP between a local device and a remote blade."""
+
+    _next_id = 0
+
+    def __init__(
+        self,
+        context,
+        doorbell,
+        cq: CompletionQueue,
+        remote_node,
+        share_lock: Optional[SpinLock] = None,
+    ):
+        QueuePair._next_id += 1
+        self.qp_id = QueuePair._next_id
+        self.context = context
+        self.doorbell = doorbell
+        self.cq = cq
+        self.remote_node = remote_node
+        #: set when several threads share this QP (shared / multiplexed
+        #: policies); the driver serializes them on this lock.
+        self.share_lock = share_lock
+        self.posted_wrs = 0
+        self.completed_wrs = 0
+        #: threads that post on this QP (contend on its driver lock)
+        self.users = set()
+
+    def note_user(self, thread_id: int) -> None:
+        self.users.add(thread_id)
+
+    def sharing_penalty_ns(self, config) -> float:
+        if self.share_lock is None:
+            return 0.0
+        sharers = min(max(len(self.users) - 1, 0), config.doorbell_bounce_cap)
+        return config.doorbell_share_ns * sharers
+
+    @property
+    def device(self):
+        return self.context.device
+
+    @property
+    def outstanding(self) -> int:
+        return self.posted_wrs - self.completed_wrs
+
+    def __repr__(self) -> str:
+        return f"QP({self.qp_id}, db={self.doorbell.index}, remote={self.remote_node.node_id})"

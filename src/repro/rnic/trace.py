@@ -1,0 +1,64 @@
+"""Per-batch lifecycle tracing for latency breakdowns.
+
+Attach a :class:`Tracer` to a device (``device.tracer = Tracer(...)``)
+and every work batch passing through records its pipeline timestamps:
+
+    posted -> issued -> remote_start -> executed -> completed
+
+``summary()`` then reports where the time went — queueing at the
+requester (a sign of an IOPS/bandwidth ceiling), flight time, responder
+queueing (a remote-side ceiling) or return flight.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+STAGES = ("posted", "issued", "remote_start", "executed", "completed")
+
+
+class Tracer:
+    """Bounded trace of batch lifecycles (oldest evicted first)."""
+
+    def __init__(self, capacity: int = 10_000):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._batches: "OrderedDict[int, Dict[str, int]]" = OrderedDict()
+        self.dropped = 0
+
+    def record(self, batch_id: int, stage: str, now: int) -> None:
+        if stage not in STAGES:
+            raise ValueError(f"unknown stage {stage!r}")
+        timestamps = self._batches.get(batch_id)
+        if timestamps is None:
+            if stage != "posted":
+                return  # batch predates the tracer; ignore its tail
+            timestamps = {}
+            self._batches[batch_id] = timestamps
+            if len(self._batches) > self.capacity:
+                self._batches.popitem(last=False)
+                self.dropped += 1
+        timestamps[stage] = now
+
+    def complete_batches(self) -> List[Dict[str, int]]:
+        return [t for t in self._batches.values() if len(t) == len(STAGES)]
+
+    def summary(self) -> Optional[Dict[str, float]]:
+        """Mean nanoseconds per pipeline segment over complete batches."""
+        complete = self.complete_batches()
+        if not complete:
+            return None
+        segments = {
+            "post_to_issue": ("posted", "issued"),
+            "issue_to_remote": ("issued", "remote_start"),
+            "remote_queue_and_exec": ("remote_start", "executed"),
+            "return_flight": ("executed", "completed"),
+            "total": ("posted", "completed"),
+        }
+        result = {}
+        for name, (start, end) in segments.items():
+            result[name] = sum(t[end] - t[start] for t in complete) / len(complete)
+        result["batches"] = float(len(complete))
+        return result

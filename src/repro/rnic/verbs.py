@@ -1,0 +1,74 @@
+"""The posting path: ibv_post_send / completion waiting as DES generators.
+
+The cost structure mirrors the mlx5 driver:
+
+1. build WQEs in the send queue (CPU, per WR);
+2. if the QP is shared between threads, take the QP lock;
+3. take the doorbell spinlock, copy WQEs to the write-combining buffer and
+   ring the doorbell (MMIO), release;
+4. the RNIC's requester engine takes over; a completion event fires when
+   the CQEs have been DMA-ed back;
+5. polling the CQ costs CPU per CQE.
+
+Threads are duck-typed: anything with ``compute(ns)`` (a generator that
+charges serialized CPU time) and ``sim`` works — see
+:class:`repro.cluster.ComputeThread`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.rnic.qp import QueuePair, WorkBatch, WorkRequest
+
+
+def post_send(thread, qp: QueuePair, wrs: List[WorkRequest]) -> Generator:
+    """Post ``wrs`` on ``qp``; returns the :class:`WorkBatch` once rung in.
+
+    Usage: ``batch = yield from post_send(thread, qp, wrs)``.
+    """
+    device = qp.device
+    config = device.config
+    batch = WorkBatch(device.sim, qp, wrs)
+
+    yield from thread.compute(config.wqe_build_ns * len(wrs))
+
+    thread_id = getattr(thread, "thread_id", 0)
+    if qp.share_lock is not None:
+        qp.note_user(thread_id)
+        yield qp.share_lock.acquire()
+        thread.mark_busy_until_now()
+        # Contended lock word: every acquisition fights the sharers'
+        # spinning reads (cache-line bouncing).
+        yield from thread.compute(qp.sharing_penalty_ns(config))
+    doorbell = qp.doorbell
+    doorbell.note_user(thread_id)
+    yield doorbell.lock.acquire()
+    # The wait above was a spin: the thread's CPU was burning the whole
+    # time, so bring its watermark up to now before the locked section.
+    thread.mark_busy_until_now()
+    yield from thread.compute(doorbell.held_cost_ns(config, len(wrs)))
+    doorbell.lock.release()
+    if qp.share_lock is not None:
+        qp.share_lock.release()
+
+    doorbell.rings += 1
+    device.counters.doorbell_rings += 1
+    qp.posted_wrs += len(wrs)
+    device.requester.submit(batch)
+    return batch
+
+
+def wait_completion(thread, batch: WorkBatch) -> Generator:
+    """Wait until ``batch`` completes, then charge the CQ-poll CPU cost."""
+    if not batch.done.triggered:
+        yield batch.done
+    yield from thread.compute(thread.config.cqe_poll_ns * len(batch))
+    return batch
+
+
+def post_and_wait(thread, qp: QueuePair, wrs: List[WorkRequest]) -> Generator:
+    """Convenience: post a batch and wait for all its completions."""
+    batch = yield from post_send(thread, qp, wrs)
+    yield from wait_completion(thread, batch)
+    return batch

@@ -1,0 +1,243 @@
+"""Event loop, processes and primitive waitables.
+
+Time is measured in integer nanoseconds (floats are accepted and rounded).
+The loop is deterministic: events scheduled for the same instant run in
+scheduling order, so a fixed RNG seed reproduces a run exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (bad yields, double fires, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted while waiting."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Waitable:
+    """Base class for things a process may yield.
+
+    A waitable accepts at most many subscribers; when it triggers, each
+    subscriber callback is invoked with the waitable's value.
+    """
+
+    __slots__ = ("_sim", "_callbacks", "_triggered", "_value")
+
+    def __init__(self, sim: "Simulator"):
+        self._sim = sim
+        self._callbacks: List[Callable[[Any], None]] = []
+        self._triggered = False
+        self._value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def _subscribe(self, callback: Callable[[Any], None]) -> None:
+        if self._triggered:
+            # Deliver on the next tick to preserve run-to-completion
+            # semantics of the subscribing process.
+            self._sim._schedule_at(self._sim.now, callback, self._value)
+        else:
+            self._callbacks.append(callback)
+
+    def _trigger(self, value: Any) -> None:
+        if self._triggered:
+            raise SimulationError("waitable triggered twice")
+        self._triggered = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self._sim._schedule_at(self._sim.now, callback, value)
+
+
+class Timeout(Waitable):
+    """Triggers ``delay`` nanoseconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        super().__init__(sim)
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        sim._schedule_at(sim.now + int(round(delay)), self._trigger, value)
+
+
+class Event(Waitable):
+    """A one-shot event fired explicitly via :meth:`fire`."""
+
+    __slots__ = ()
+
+    def fire(self, value: Any = None) -> None:
+        self._trigger(value)
+
+
+class Process(Waitable):
+    """A running generator; also waitable (triggers with the return value)."""
+
+    __slots__ = ("generator", "name", "_alive")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._alive = True
+        sim._schedule_at(sim.now, self._resume, None)
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self._alive:
+            return
+        self._sim._schedule_at(self._sim.now, self._resume_throw, Interrupt(cause))
+
+    def _resume_throw(self, exc: BaseException) -> None:
+        if not self._alive:
+            return
+        try:
+            target = self.generator.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Interrupt:
+            # Process let the interrupt propagate: treat as termination.
+            self._finish(None)
+            return
+        self._wait_on(target)
+
+    def _resume(self, value: Any) -> None:
+        if not self._alive:
+            return
+        try:
+            target = self.generator.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, Waitable):
+            target._subscribe(self._resume)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded non-waitable {target!r}"
+            )
+
+    def _finish(self, value: Any) -> None:
+        self._alive = False
+        self._trigger(value)
+
+
+class Simulator:
+    """The event loop.
+
+    >>> sim = Simulator()
+    >>> def hello():
+    ...     yield sim.timeout(5)
+    ...     return sim.now
+    >>> proc = sim.spawn(hello())
+    >>> sim.run()
+    >>> proc.value
+    5
+    """
+
+    def __init__(self):
+        self._heap: List = []
+        self._seq = 0
+        self.now = 0
+
+    # -- scheduling -------------------------------------------------------
+
+    def _schedule_at(self, when: int, callback: Callable, value: Any) -> None:
+        if when < self.now:
+            raise SimulationError(f"scheduling into the past: {when} < {self.now}")
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, callback, value))
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` at absolute time ``when``."""
+        self._schedule_at(int(round(when)), lambda _value: callback(), None)
+
+    def call_after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` after ``delay`` nanoseconds."""
+        self.call_at(self.now + delay, callback)
+
+    # -- factories --------------------------------------------------------
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name)
+
+    def all_of(self, waitables: Iterable[Waitable]) -> Event:
+        """An event that fires (with a list of values) once all inputs have."""
+        waitables = list(waitables)
+        done = self.event()
+        remaining = [len(waitables)]
+        values: List[Any] = [None] * len(waitables)
+        if not waitables:
+            done.fire([])
+            return done
+
+        def make_callback(index: int) -> Callable[[Any], None]:
+            def callback(value: Any) -> None:
+                values[index] = value
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    done.fire(list(values))
+
+            return callback
+
+        for index, waitable in enumerate(waitables):
+            waitable._subscribe(make_callback(index))
+        return done
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run a single event; return False when the heap is empty."""
+        if not self._heap:
+            return False
+        when, _seq, callback, value = heapq.heappop(self._heap)
+        self.now = when
+        callback(value)
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the heap drains, ``until`` is reached, or event budget ends."""
+        events = 0
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self.now = int(round(until))
+                return
+            self.step()
+            events += 1
+            if max_events is not None and events >= max_events:
+                return
+        if until is not None and until > self.now:
+            self.now = int(round(until))
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or None if idle."""
+        return self._heap[0][0] if self._heap else None

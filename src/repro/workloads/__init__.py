@@ -1,0 +1,17 @@
+"""Workload generators: YCSB mixes, SmallBank and TATP."""
+
+from repro.workloads.ycsb import (
+    READ_HEAVY,
+    READ_ONLY,
+    UPDATE_ONLY,
+    WRITE_HEAVY,
+    YcsbWorkload,
+)
+
+__all__ = [
+    "READ_HEAVY",
+    "READ_ONLY",
+    "UPDATE_ONLY",
+    "WRITE_HEAVY",
+    "YcsbWorkload",
+]

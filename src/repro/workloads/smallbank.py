@@ -1,0 +1,144 @@
+"""SmallBank: the banking OLTP benchmark (85% read-write transactions).
+
+Six transaction profiles over two tables (savings, checking), both keyed
+by account id, with the H-Store mix the paper cites: Amalgamate 15%,
+Balance 15%, DepositChecking 15%, SendPayment 25%, TransactSavings 15%,
+WriteCheck 15% — i.e. 85% of transactions update at least one record.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.apps.ford.server import DtxServer, TableInfo
+from repro.apps.ford.txn import Aborted, Transaction
+from repro.sim.rng import ZipfianGenerator
+
+_U64 = struct.Struct("<q")  # balances are signed
+
+AMALGAMATE = "amalgamate"
+BALANCE = "balance"
+DEPOSIT_CHECKING = "deposit_checking"
+SEND_PAYMENT = "send_payment"
+TRANSACT_SAVINGS = "transact_savings"
+WRITE_CHECK = "write_check"
+
+MIX = (
+    (AMALGAMATE, 0.15),
+    (BALANCE, 0.15),
+    (DEPOSIT_CHECKING, 0.15),
+    (SEND_PAYMENT, 0.25),
+    (TRANSACT_SAVINGS, 0.15),
+    (WRITE_CHECK, 0.15),
+)
+
+INITIAL_BALANCE = 10_000
+
+
+@dataclass
+class SmallBankTables:
+    savings: TableInfo
+    checking: TableInfo
+
+
+def setup(server: DtxServer, accounts: int = 100_000) -> SmallBankTables:
+    """Create and populate both tables."""
+    initial = _U64.pack(INITIAL_BALANCE)
+    savings = server.create_table("savings", accounts, 8, initial_payload=initial)
+    checking = server.create_table("checking", accounts, 8, initial_payload=initial)
+    return SmallBankTables(savings, checking)
+
+
+def _bal(payload: bytes) -> int:
+    return _U64.unpack(payload)[0]
+
+
+def transaction_stream(
+    accounts: int, seed: int, theta: float = 0.9
+) -> Iterator[Tuple[str, Tuple[int, ...], int]]:
+    """Infinite stream of (profile, account ids, amount)."""
+    rng = random.Random(seed)
+    keygen = ZipfianGenerator(accounts, theta=theta, seed=seed)
+    while True:
+        draw = rng.random()
+        cumulative = 0.0
+        profile = MIX[-1][0]
+        for name, weight in MIX:
+            cumulative += weight
+            if draw < cumulative:
+                profile = name
+                break
+        a1 = keygen.next()
+        a2 = keygen.next()
+        while a2 == a1:
+            a2 = keygen.next()
+        amount = rng.randrange(1, 100)
+        yield (profile, (a1, a2), amount)
+
+
+def run_profile(
+    txn: Transaction, tables: SmallBankTables, profile: str,
+    accounts: Tuple[int, ...], amount: int,
+):
+    """Generator: execute one SmallBank transaction body on ``txn``."""
+    a1, a2 = accounts
+    savings, checking = tables.savings, tables.checking
+    if profile == AMALGAMATE:
+        sv = _bal((yield from txn.read_for_update(savings, a1)))
+        ck = _bal((yield from txn.read_for_update(checking, a1)))
+        ck2 = _bal((yield from txn.read_for_update(checking, a2)))
+        txn.write(savings, a1, _U64.pack(0))
+        txn.write(checking, a1, _U64.pack(0))
+        txn.write(checking, a2, _U64.pack(ck2 + sv + ck))
+        return sv + ck
+    if profile == BALANCE:
+        sv = _bal((yield from txn.read(savings, a1)))
+        ck = _bal((yield from txn.read(checking, a1)))
+        return sv + ck
+    if profile == DEPOSIT_CHECKING:
+        ck = _bal((yield from txn.read_for_update(checking, a1)))
+        txn.write(checking, a1, _U64.pack(ck + amount))
+        return ck + amount
+    if profile == SEND_PAYMENT:
+        ck1 = _bal((yield from txn.read_for_update(checking, a1)))
+        if ck1 < amount:
+            raise Aborted("insufficient funds", retry=False)
+        ck2 = _bal((yield from txn.read_for_update(checking, a2)))
+        txn.write(checking, a1, _U64.pack(ck1 - amount))
+        txn.write(checking, a2, _U64.pack(ck2 + amount))
+        return amount
+    if profile == TRANSACT_SAVINGS:
+        sv = _bal((yield from txn.read_for_update(savings, a1)))
+        if sv + amount < 0:
+            raise Aborted("negative savings", retry=False)
+        txn.write(savings, a1, _U64.pack(sv + amount))
+        return sv + amount
+    if profile == WRITE_CHECK:
+        sv = _bal((yield from txn.read(savings, a1)))
+        ck = _bal((yield from txn.read_for_update(checking, a1)))
+        fee = amount + (1 if sv + ck < amount else 0)
+        txn.write(checking, a1, _U64.pack(ck - fee))
+        return fee
+    raise ValueError(f"unknown profile {profile!r}")
+
+
+def total_money(server: DtxServer, tables: SmallBankTables, accounts: int) -> int:
+    """Sum of all balances on the primary replicas (invariant checking).
+
+    Only SendPayment-neutral flows preserve the total; Deposit/Transact/
+    WriteCheck change it by their amounts, so tests use targeted mixes.
+    """
+    total = 0
+    for table in (tables.savings, tables.checking):
+        for key in range(accounts):
+            addr = table.primary_addr(key)
+            blade_id = (addr >> 48) - 1
+            offset = (addr & ((1 << 48) - 1)) + 16
+            storage = next(
+                n.storage for n in server.memory_nodes if n.node_id == blade_id
+            )
+            total += _U64.unpack(storage.read(offset, 8))[0]
+    return total

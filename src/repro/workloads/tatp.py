@@ -1,0 +1,152 @@
+"""TATP: the telecom OLTP benchmark (80% read-only transactions).
+
+Four tables keyed by subscriber id and the standard seven-profile mix:
+
+* GetSubscriberData 35% (RO), GetNewDestination 10% (RO),
+  GetAccessData 35% (RO) — 80% read-only;
+* UpdateSubscriberData 2%, UpdateLocation 14%,
+  InsertCallForwarding 2%, DeleteCallForwarding 2% — read-write.
+
+Call-forwarding insert/delete toggle an ``active`` flag on preallocated
+rows (the fixed-schema equivalent of row insertion, as in FORD's
+artifact).
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.apps.ford.server import DtxServer, TableInfo
+from repro.apps.ford.txn import Aborted, Transaction
+
+_U64 = struct.Struct("<Q")
+
+GET_SUBSCRIBER_DATA = "get_subscriber_data"
+GET_NEW_DESTINATION = "get_new_destination"
+GET_ACCESS_DATA = "get_access_data"
+UPDATE_SUBSCRIBER_DATA = "update_subscriber_data"
+UPDATE_LOCATION = "update_location"
+INSERT_CALL_FORWARDING = "insert_call_forwarding"
+DELETE_CALL_FORWARDING = "delete_call_forwarding"
+
+MIX = (
+    (GET_SUBSCRIBER_DATA, 0.35),
+    (GET_NEW_DESTINATION, 0.10),
+    (GET_ACCESS_DATA, 0.35),
+    (UPDATE_SUBSCRIBER_DATA, 0.02),
+    (UPDATE_LOCATION, 0.14),
+    (INSERT_CALL_FORWARDING, 0.02),
+    (DELETE_CALL_FORWARDING, 0.02),
+)
+
+SUBSCRIBER_PAYLOAD = 40  # sub_nbr digits + bit/hex/byte fields (scaled)
+ACCESS_INFO_PAYLOAD = 16
+SPECIAL_FACILITY_PAYLOAD = 16
+CALL_FORWARDING_PAYLOAD = 24
+
+
+@dataclass
+class TatpTables:
+    subscriber: TableInfo
+    access_info: TableInfo
+    special_facility: TableInfo
+    call_forwarding: TableInfo
+
+
+def setup(server: DtxServer, subscribers: int = 100_000) -> TatpTables:
+    return TatpTables(
+        subscriber=server.create_table(
+            "subscriber", subscribers, SUBSCRIBER_PAYLOAD,
+            initial_payload=b"\x01" * SUBSCRIBER_PAYLOAD,
+        ),
+        access_info=server.create_table(
+            "access_info", subscribers, ACCESS_INFO_PAYLOAD,
+            initial_payload=b"\x02" * ACCESS_INFO_PAYLOAD,
+        ),
+        special_facility=server.create_table(
+            "special_facility", subscribers, SPECIAL_FACILITY_PAYLOAD,
+            initial_payload=b"\x03" * SPECIAL_FACILITY_PAYLOAD,
+        ),
+        call_forwarding=server.create_table(
+            "call_forwarding", subscribers, CALL_FORWARDING_PAYLOAD,
+            initial_payload=b"\x00" * CALL_FORWARDING_PAYLOAD,
+        ),
+    )
+
+
+def transaction_stream(
+    subscribers: int, seed: int
+) -> Iterator[Tuple[str, int, int]]:
+    """Infinite stream of (profile, subscriber id, auxiliary value).
+
+    TATP accesses subscribers uniformly (the benchmark's non-uniform
+    variant is rarely used and FORD evaluates the uniform one).
+    """
+    rng = random.Random(seed)
+    while True:
+        draw = rng.random()
+        cumulative = 0.0
+        profile = MIX[-1][0]
+        for name, weight in MIX:
+            cumulative += weight
+            if draw < cumulative:
+                profile = name
+                break
+        yield (profile, rng.randrange(subscribers), rng.getrandbits(16))
+
+
+def run_profile(txn: Transaction, tables: TatpTables, profile: str,
+                subscriber: int, aux: int):
+    """Generator: execute one TATP transaction body."""
+    if profile == GET_SUBSCRIBER_DATA:
+        data = yield from txn.read(tables.subscriber, subscriber)
+        return data
+    if profile == GET_NEW_DESTINATION:
+        sf = yield from txn.read(tables.special_facility, subscriber)
+        if not sf[0]:
+            raise Aborted("special facility inactive", retry=False)
+        cf = yield from txn.read(tables.call_forwarding, subscriber)
+        return cf
+    if profile == GET_ACCESS_DATA:
+        return (yield from txn.read(tables.access_info, subscriber))
+    if profile == UPDATE_SUBSCRIBER_DATA:
+        yield from txn.read_for_update(tables.subscriber, subscriber)
+        yield from txn.read_for_update(tables.special_facility, subscriber)
+        txn.write(
+            tables.subscriber, subscriber,
+            _U64.pack(aux) + b"\x01" * (SUBSCRIBER_PAYLOAD - 8),
+        )
+        txn.write(
+            tables.special_facility, subscriber,
+            _U64.pack(aux) + b"\x03" * (SPECIAL_FACILITY_PAYLOAD - 8),
+        )
+        return None
+    if profile == UPDATE_LOCATION:
+        yield from txn.read_for_update(tables.subscriber, subscriber)
+        txn.write(
+            tables.subscriber, subscriber,
+            _U64.pack(aux) + b"\x01" * (SUBSCRIBER_PAYLOAD - 8),
+        )
+        return None
+    if profile == INSERT_CALL_FORWARDING:
+        row = yield from txn.read_for_update(tables.call_forwarding, subscriber)
+        if row[0]:
+            raise Aborted("call forwarding already present", retry=False)
+        txn.write(
+            tables.call_forwarding, subscriber,
+            b"\x01" + b"\x00" * (CALL_FORWARDING_PAYLOAD - 1),
+        )
+        return None
+    if profile == DELETE_CALL_FORWARDING:
+        row = yield from txn.read_for_update(tables.call_forwarding, subscriber)
+        if not row[0]:
+            raise Aborted("no call forwarding row", retry=False)
+        txn.write(
+            tables.call_forwarding, subscriber,
+            b"\x00" * CALL_FORWARDING_PAYLOAD,
+        )
+        return None
+    raise ValueError(f"unknown profile {profile!r}")

@@ -1,0 +1,79 @@
+"""YCSB-style key-value workloads (§6.2.1).
+
+The paper evaluates three read/update mixes over Zipfian-distributed keys
+(θ = 0.99, "more common in production environments"), with 8-byte keys and
+8-byte values:
+
+* write-heavy — 50% updates, 50% lookups;
+* read-heavy  —  5% updates, 95% lookups;
+* read-only   — 100% lookups.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.sim.rng import ScrambledZipfianGenerator, UniformGenerator
+
+READ = "read"
+UPDATE = "update"
+INSERT = "insert"
+
+Op = Tuple[str, int, int]  # (op, key, value)
+
+
+@dataclass(frozen=True)
+class YcsbWorkload:
+    """A read/update/insert mix over a Zipfian key popularity."""
+
+    name: str
+    read_fraction: float
+    update_fraction: float
+    insert_fraction: float = 0.0
+    theta: float = 0.99
+
+    def __post_init__(self):
+        total = self.read_fraction + self.update_fraction + self.insert_fraction
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"fractions sum to {total}, expected 1.0")
+
+    def stream(self, item_count: int, seed: int) -> Iterator[Op]:
+        """An infinite per-coroutine operation stream."""
+        rng = random.Random(seed)
+        if self.theta > 0:
+            keygen = ScrambledZipfianGenerator(item_count, self.theta, seed=seed)
+        else:
+            keygen = UniformGenerator(item_count, seed=seed)
+        next_insert_key = item_count + (seed << 24)
+        while True:
+            draw = rng.random()
+            if draw < self.read_fraction:
+                yield (READ, keygen.next(), 0)
+            elif draw < self.read_fraction + self.update_fraction:
+                yield (UPDATE, keygen.next(), rng.getrandbits(32))
+            else:
+                yield (INSERT, next_insert_key, rng.getrandbits(32))
+                next_insert_key += 1
+
+    def with_theta(self, theta: float) -> "YcsbWorkload":
+        return YcsbWorkload(
+            f"{self.name}(theta={theta})",
+            self.read_fraction,
+            self.update_fraction,
+            self.insert_fraction,
+            theta,
+        )
+
+    @staticmethod
+    def load_items(item_count: int, seed: int = 0):
+        """The (key, value) pairs loaded before each experiment."""
+        rng = random.Random(seed)
+        return ((key, rng.getrandbits(32)) for key in range(item_count))
+
+
+WRITE_HEAVY = YcsbWorkload("write-heavy", read_fraction=0.5, update_fraction=0.5)
+READ_HEAVY = YcsbWorkload("read-heavy", read_fraction=0.95, update_fraction=0.05)
+READ_ONLY = YcsbWorkload("read-only", read_fraction=1.0, update_fraction=0.0)
+UPDATE_ONLY = YcsbWorkload("update-only", read_fraction=0.0, update_fraction=1.0)

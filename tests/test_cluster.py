@@ -1,0 +1,82 @@
+"""Tests for cluster wiring (nodes, threads, top-level exports)."""
+
+import pytest
+
+import repro
+from repro.cluster import Cluster, ComputeThread, Node
+from repro.rnic.config import RnicConfig
+
+
+class TestCluster:
+    def test_nodes_get_sequential_ids(self):
+        cluster = Cluster()
+        nodes = cluster.add_nodes(3)
+        assert [n.node_id for n in nodes] == [0, 1, 2]
+        assert cluster.node(1) is nodes[1]
+
+    def test_every_node_has_storage_and_device(self):
+        cluster = Cluster()
+        node = cluster.add_node()
+        assert node.storage.capacity == cluster.config.blade_capacity_bytes
+        assert node.device.storage is node.storage
+        assert node.device.fabric is cluster.fabric
+
+    def test_custom_config_propagates(self):
+        config = RnicConfig(blade_capacity_bytes=1 << 20, one_way_latency_ns=123.0)
+        cluster = Cluster(config)
+        node = cluster.add_node()
+        assert node.storage.capacity == 1 << 20
+        assert cluster.fabric.one_way_latency_ns == 123.0
+
+    def test_add_threads_twice_extends(self):
+        cluster = Cluster()
+        node = cluster.add_node()
+        first = node.add_threads(2)
+        second = node.add_threads(3)
+        assert len(node.threads) == 5
+        assert [t.thread_id for t in first + second] == [0, 1, 2, 3, 4]
+
+
+class TestComputeThread:
+    def test_qp_for_unknown_node_raises(self):
+        cluster = Cluster()
+        node = cluster.add_node()
+        (thread,) = node.add_threads(1)
+        with pytest.raises(KeyError, match="no connection"):
+            thread.qp_for(99)
+
+    def test_compute_zero_is_instant(self):
+        cluster = Cluster()
+        node = cluster.add_node()
+        (thread,) = node.add_threads(1)
+        done = []
+
+        def proc():
+            yield from thread.compute(0)
+            done.append(cluster.sim.now)
+
+        cluster.sim.spawn(proc())
+        cluster.sim.run()
+        assert done == [0]
+
+    def test_mark_busy_until_now_never_regresses(self):
+        cluster = Cluster()
+        node = cluster.add_node()
+        (thread,) = node.add_threads(1)
+        thread.busy_until = 500.0
+        thread.mark_busy_until_now()  # now=0 < 500
+        assert thread.busy_until == 500.0
+
+
+class TestTopLevelExports:
+    def test_public_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_core_classes_exported(self):
+        assert repro.Cluster is Cluster
+        assert repro.ComputeThread is ComputeThread
+        assert repro.Node is Node

@@ -1,0 +1,95 @@
+"""Smoke tests: every figure/table entry point runs end to end on a tiny
+grid and produces well-formed rows.  (Shape assertions live in
+benchmarks/; these only verify wiring, so they use minimal parameters.)"""
+
+import pytest
+
+from repro.bench import experiments as exp
+
+
+class TestMicroExperiments:
+    def test_fig3(self):
+        result = exp.fig3_qp_policies(threads=(2, 4), measure_ns=0.3e6)
+        assert result.headers[0] == "threads"
+        assert len(result.rows) == 2
+        assert "paper:" in result.format()
+
+    def test_fig4(self):
+        result = exp.fig4_cache_thrashing(threads=(4,), depths=(2, 4))
+        assert len(result.rows) == 2
+        assert result.rows[0][2] == 8  # total OWRs = threads * depth
+
+    def test_fig13(self):
+        result = exp.fig13_micro(threads=(4,), batches=(4,))
+        assert len(result.rows) == 2  # one threads row + one batch row
+        assert result.rows[0][0] == "threads"
+        assert result.rows[1][0] == "batch"
+
+    def test_table1(self):
+        result = exp.table1_dynamic(intervals_ns=(2e6,), total_ns=8e6)
+        assert len(result.rows) == 1
+        interval_ms, ratio, off, on = result.rows[0]
+        assert off > 0 and on > 0
+
+
+class TestHashTableExperiments:
+    def test_fig5(self):
+        result = exp.fig5_race_contention(threads=(2,), thetas=(0.0,))
+        sweeps = {row[0] for row in result.rows}
+        assert sweeps == {"threads", "theta"}
+
+    def test_fig7(self):
+        result = exp.fig7_hashtable(threads=(2,), compute_blades=(2,),
+                                    item_count=5_000)
+        modes = {row[0] for row in result.rows}
+        assert modes == {"scale-up", "scale-out"}
+        # 2 quick-mode workloads x (1 thread point + 1 blade point) x 2 systems
+        assert len(result.rows) == 8
+
+    def test_fig8(self):
+        result = exp.fig8_breakdown(threads=(2,), item_count=5_000)
+        configs = {row[2] for row in result.rows}
+        assert configs == {"baseline", "+ThdResAlloc", "+WorkReqThrot",
+                           "+ConflictAvoid"}
+
+    def test_fig9(self):
+        result = exp.fig9_ht_latency(gaps_ns=(0.0,), item_count=5_000, threads=4)
+        assert {row[0] for row in result.rows} == {"race", "smart-ht"}
+
+    def test_fig14(self):
+        result = exp.fig14_conflict(threads=(2,), item_count=5_000)
+        assert len(result.rows) == 4
+        assert result.observations  # retry-free percentages reported
+
+
+class TestDtxExperiments:
+    def test_fig10(self):
+        result = exp.fig10_dtx(threads=(2,), item_count=2_000)
+        assert {row[0] for row in result.rows} == {"smallbank", "tatp"}
+        assert all(row[3] > 0 for row in result.rows)
+
+    def test_fig11(self):
+        result = exp.fig11_dtx_latency(gaps_ns=(0.0,), item_count=2_000, threads=4)
+        assert all(row[4] > 0 for row in result.rows)  # p50 measured
+
+
+class TestBtreeExperiments:
+    def test_fig12(self):
+        result = exp.fig12_btree(threads=(2,), servers=(2,), item_count=5_000)
+        systems = {row[2] for row in result.rows}
+        assert systems == {"sherman", "sherman-sl", "smart-bt"}
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(exp.ALL_EXPERIMENTS) == {
+            "fig3", "fig4", "fig5", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "fig12", "fig13", "table1", "fig14",
+        }
+
+    def test_grid_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert exp.full_grids()
+        monkeypatch.setenv("REPRO_FULL", "0")
+        assert not exp.full_grids()
+        assert exp._grid((1,), (1, 2, 3)) == (1,)

@@ -1,0 +1,320 @@
+"""Tests for FORD transactions (server, OCC protocol, workloads)."""
+
+import struct
+
+import pytest
+
+from repro.apps.ford.server import DtxServer
+from repro.apps.ford.txn import Aborted, TxnClient
+from repro.cluster import Cluster
+from repro.core import SmartContext, SmartThread
+from repro.core.features import baseline, full
+from repro.workloads import smallbank, tatp
+
+_U64 = struct.Struct("<Q")
+_I64 = struct.Struct("<q")
+
+
+def deploy(threads=2, memory_nodes=2, features=None, replicas=2):
+    cluster = Cluster()
+    compute = cluster.add_node()
+    compute.add_threads(threads)
+    remotes = cluster.add_nodes(memory_nodes)
+    server = DtxServer(remotes, replicas=replicas)
+    features = features or full()
+    SmartContext(compute, remotes, features)
+    smarts = [SmartThread(t, features, seed=i) for i, t in enumerate(compute.threads)]
+    clients = [TxnClient(s.handle(), server.alloc_log_ring()) for s in smarts]
+    return cluster, server, clients, smarts
+
+
+def drive(cluster, generators, until=1e10):
+    procs = [cluster.sim.spawn(g) for g in generators]
+    cluster.sim.run(until=until)
+    for proc in procs:
+        assert not proc.alive, "transaction did not finish"
+    return [p.value for p in procs]
+
+
+def read_row(server, table, key):
+    addr = table.primary_addr(key)
+    blade_id = (addr >> 48) - 1
+    offset = addr & ((1 << 48) - 1)
+    storage = next(n.storage for n in server.memory_nodes if n.node_id == blade_id)
+    data = storage.read(offset, table.record_bytes)
+    return data[:8], data[8:16], data[16:]
+
+
+class TestServer:
+    def test_tables_partitioned_across_blades(self):
+        cluster, server, _, _ = deploy()
+        table = server.create_table("t", 100, 8)
+        blades = {(table.primary_addr(k) >> 48) - 1 for k in range(100)}
+        assert len(blades) == 2
+
+    def test_backup_on_different_blade(self):
+        cluster, server, _, _ = deploy()
+        table = server.create_table("t", 100, 8)
+        for k in (0, 1, 50):
+            assert (table.primary_addr(k) >> 48) != (table.backup_addr(k) >> 48)
+
+    def test_table_regions_are_persistent(self):
+        cluster, server, _, _ = deploy()
+        table = server.create_table("t", 10, 8)
+        addr = table.primary_addr(0)
+        blade_id = (addr >> 48) - 1
+        storage = next(n.storage for n in server.memory_nodes if n.node_id == blade_id)
+        assert storage.is_persistent(addr & ((1 << 48) - 1))
+
+    def test_replica_validation(self):
+        cluster = Cluster()
+        remotes = cluster.add_nodes(1)
+        with pytest.raises(ValueError):
+            DtxServer(remotes, replicas=2)
+        with pytest.raises(ValueError):
+            DtxServer(remotes, replicas=3)
+
+    def test_key_out_of_range(self):
+        cluster, server, _, _ = deploy()
+        table = server.create_table("t", 10, 8)
+        with pytest.raises(KeyError):
+            table.primary_addr(10)
+
+
+class TestOcc:
+    def test_simple_commit_updates_both_replicas(self):
+        cluster, server, (client, _), _ = deploy()
+        table = server.create_table("t", 16, 8, initial_payload=_U64.pack(5))
+
+        def body(txn):
+            old = yield from txn.read_for_update(table, 3)
+            txn.write(table, 3, _U64.pack(_U64.unpack(old)[0] + 1))
+            return "ok"
+
+        def scenario():
+            return (yield from client.run(body))
+
+        (result,) = drive(cluster, [scenario()])
+        assert result == "ok"
+        lock, version, payload = read_row(server, table, 3)
+        assert _U64.unpack(lock)[0] == 0  # unlocked after commit
+        assert _U64.unpack(version)[0] == 1  # bumped
+        assert _U64.unpack(payload)[0] == 6
+        # Backup replica matches.
+        baddr = table.backup_addr(3)
+        storage = next(
+            n.storage for n in server.memory_nodes
+            if n.node_id == (baddr >> 48) - 1
+        )
+        assert storage.read_u64((baddr & ((1 << 48) - 1)) + 16) == 6
+
+    def test_read_only_txn_commits_without_writes(self):
+        cluster, server, (client, _), _ = deploy()
+        table = server.create_table("t", 16, 8, initial_payload=_U64.pack(7))
+
+        def body(txn):
+            value = yield from txn.read(table, 0)
+            return _U64.unpack(value)[0]
+
+        (value,) = drive(cluster, [drive_one(client, body)])
+        assert value == 7
+        _, version, _ = read_row(server, table, 0)
+        assert _U64.unpack(version)[0] == 0  # untouched
+
+    def test_concurrent_increments_serialize(self):
+        cluster, server, clients, _ = deploy(threads=8)
+        table = server.create_table("ctr", 4, 8)
+
+        def body(txn):
+            old = yield from txn.read_for_update(table, 0)
+            txn.write(table, 0, _U64.pack(_U64.unpack(old)[0] + 1))
+            return None
+
+        def worker(client):
+            for _ in range(10):
+                yield from client.run(body)
+
+        drive(cluster, [worker(c) for c in clients], until=1e11)
+        _, version, payload = read_row(server, table, 0)
+        assert _U64.unpack(payload)[0] == 80  # no lost updates
+        assert _U64.unpack(version)[0] == 80
+
+    def test_validation_failure_aborts(self):
+        """A read-set version change between read and commit aborts."""
+        cluster, server, (client, _), _ = deploy()
+        table = server.create_table("t", 4, 8, initial_payload=_U64.pack(1))
+        outcome = []
+
+        def body(txn):
+            value = yield from txn.read(table, 0)  # read-set member
+            yield from txn.read_for_update(table, 1)
+            # Simulate a concurrent writer bumping key 0's version
+            # between execution and validation (direct poke).
+            addr = table.primary_addr(0)
+            storage = next(
+                n.storage for n in server.memory_nodes
+                if n.node_id == (addr >> 48) - 1
+            )
+            storage.write_u64((addr & ((1 << 48) - 1)) + 8, 99)
+            txn.write(table, 1, _U64.pack(42))
+            return None
+
+        def scenario():
+            txn = client.begin()
+            yield from body(txn)
+            ok = yield from txn.commit()
+            outcome.append(ok)
+
+        drive(cluster, [scenario()])
+        assert outcome == [False]
+        lock, _, payload = read_row(server, table, 1)
+        assert _U64.unpack(lock)[0] == 0  # lock released on abort
+        assert _U64.unpack(payload)[0] == 1  # write not applied
+
+    def test_logical_abort_not_retried(self):
+        cluster, server, (client, _), _ = deploy()
+        table = server.create_table("t", 4, 8)
+
+        def body(txn):
+            yield from txn.read(table, 0)
+            raise Aborted("nope", retry=False)
+
+        (result,) = drive(cluster, [drive_one(client, body)])
+        assert result is None
+        assert client.aborts == 0  # logical failure, not a retry
+
+    def test_undo_log_written_before_data(self):
+        cluster, server, (client, _), _ = deploy()
+        table = server.create_table("t", 4, 8, initial_payload=_U64.pack(3))
+        log_addr, _ = client._log_addr, client._log_size
+
+        def body(txn):
+            yield from txn.read_for_update(table, 0)
+            txn.write(table, 0, _U64.pack(9))
+            return None
+
+        drive(cluster, [drive_one(client, body)])
+        from repro.apps.ford.txn import unpack_log_records
+
+        blade_id = (log_addr >> 48) - 1
+        storage = next(
+            n.storage for n in server.memory_nodes if n.node_id == blade_id
+        )
+        offset = log_addr & ((1 << 48) - 1)
+        records = unpack_log_records(storage.read(offset, 256))
+        assert len(records) == 1
+        _txn_id, addr, version, payload = records[0]
+        assert addr == table.primary_addr(0)
+        assert version == 0
+        assert _U64.unpack(payload)[0] == 3  # old image persisted
+
+
+def drive_one(client, body):
+    def scenario():
+        return (yield from client.run(body))
+
+    return scenario()
+
+
+class TestSmallBank:
+    def test_setup_and_mix(self):
+        cluster, server, clients, _ = deploy(threads=4)
+        tables = smallbank.setup(server, accounts=2000)
+        stream_count = 200
+        committed = []
+
+        def worker(client, seed):
+            stream = smallbank.transaction_stream(2000, seed)
+            for _ in range(stream_count // 4):
+                profile, accounts, amount = next(stream)
+                result = yield from client.run(
+                    lambda txn, p=profile, a=accounts, m=amount: smallbank.run_profile(
+                        txn, tables, p, a, m
+                    )
+                )
+                committed.append((profile, result))
+
+        drive(cluster, [worker(c, i) for i, c in enumerate(clients)], until=1e11)
+        assert len(committed) == stream_count
+        profiles = {p for p, _ in committed}
+        assert len(profiles) >= 5  # all major profiles exercised
+
+    def test_send_payment_conserves_money(self):
+        cluster, server, clients, _ = deploy(threads=4)
+        accounts = 50
+        tables = smallbank.setup(server, accounts=accounts)
+        before = smallbank.total_money(server, tables, accounts)
+
+        def worker(client, seed):
+            stream = smallbank.transaction_stream(accounts, seed)
+            sent = 0
+            while sent < 25:
+                profile, accts, amount = next(stream)
+                if profile != smallbank.SEND_PAYMENT:
+                    continue
+                sent += 1
+                yield from client.run(
+                    lambda txn, a=accts, m=amount: smallbank.run_profile(
+                        txn, tables, smallbank.SEND_PAYMENT, a, m
+                    )
+                )
+
+        drive(cluster, [worker(c, i) for i, c in enumerate(clients)], until=1e11)
+        after = smallbank.total_money(server, tables, accounts)
+        assert after == before  # serializability: money conserved
+
+
+class TestTatp:
+    def test_mix_and_profiles(self):
+        cluster, server, clients, _ = deploy(threads=2)
+        tables = tatp.setup(server, subscribers=1000)
+        executed = []
+
+        def worker(client, seed):
+            stream = tatp.transaction_stream(1000, seed)
+            for _ in range(100):
+                profile, sub, aux = next(stream)
+                yield from client.run(
+                    lambda txn, p=profile, s=sub, x=aux: tatp.run_profile(
+                        txn, tables, p, s, x
+                    )
+                )
+                executed.append(profile)
+
+        drive(cluster, [worker(c, i) for i, c in enumerate(clients)], until=1e11)
+        assert len(executed) == 200
+        read_only = sum(
+            executed.count(p)
+            for p in (
+                tatp.GET_SUBSCRIBER_DATA,
+                tatp.GET_NEW_DESTINATION,
+                tatp.GET_ACCESS_DATA,
+            )
+        )
+        assert read_only / len(executed) > 0.6  # ~80% read-only mix
+
+    def test_insert_then_delete_call_forwarding(self):
+        cluster, server, (client, _), _ = deploy()
+        tables = tatp.setup(server, subscribers=100)
+
+        def scenario():
+            ok = yield from client.run(
+                lambda txn: tatp.run_profile(
+                    txn, tables, tatp.INSERT_CALL_FORWARDING, 5, 0
+                )
+            )
+            # Insert again: logical failure (row exists).
+            yield from client.run(
+                lambda txn: tatp.run_profile(
+                    txn, tables, tatp.INSERT_CALL_FORWARDING, 5, 0
+                )
+            )
+            yield from client.run(
+                lambda txn: tatp.run_profile(
+                    txn, tables, tatp.DELETE_CALL_FORWARDING, 5, 0
+                )
+            )
+
+        drive(cluster, [scenario()])
+        row = read_row(server, tables.call_forwarding, 5)[2]
+        assert row[0] == 0  # deleted again

@@ -1,0 +1,184 @@
+"""Crash-recovery tests: FORD undo logs repair half-committed state."""
+
+import struct
+
+import pytest
+
+from repro.apps.ford.recovery import RecoveryManager
+from repro.apps.ford.server import DtxServer
+from repro.apps.ford.txn import (
+    Transaction,
+    TxnClient,
+    pack_log_record,
+    unpack_log_records,
+)
+from repro.cluster import Cluster
+from repro.core import SmartContext, SmartThread
+from repro.core.features import full
+
+_U64 = struct.Struct("<Q")
+
+
+def deploy(threads=2):
+    cluster = Cluster()
+    compute = cluster.add_node()
+    compute.add_threads(threads)
+    remotes = cluster.add_nodes(2)
+    server = DtxServer(remotes)
+    features = full()
+    SmartContext(compute, remotes, features)
+    smarts = [SmartThread(t, features, seed=i) for i, t in enumerate(compute.threads)]
+    rings = [server.alloc_log_ring() for _ in smarts]
+    clients = [TxnClient(s.handle(), ring) for s, ring in zip(smarts, rings)]
+    return cluster, server, clients, rings
+
+
+def drive(cluster, gens, window=1e10):
+    procs = [cluster.sim.spawn(g) for g in gens]
+    cluster.sim.run(until=cluster.sim.now + window)
+    assert all(not p.alive for p in procs)
+    return [p.value for p in procs]
+
+
+def read_record(server, table, key):
+    addr = table.primary_addr(key)
+    storage = next(
+        n.storage for n in server.memory_nodes if n.node_id == (addr >> 48) - 1
+    )
+    offset = addr & ((1 << 48) - 1)
+    data = storage.read(offset, table.record_bytes)
+    return _U64.unpack(data[:8])[0], _U64.unpack(data[8:16])[0], data[16:]
+
+
+class TestLogRecordFormat:
+    def test_roundtrip(self):
+        record = pack_log_record(7, 0xABCDEF, 3, b"payload!")
+        parsed = unpack_log_records(record)
+        assert parsed == [(7, 0xABCDEF, 3, b"payload!")]
+
+    def test_multiple_records_and_clean_tail(self):
+        data = (
+            pack_log_record(1, 100, 0, b"A" * 8)
+            + pack_log_record(2, 200, 5, b"B" * 8)
+            + b"\x00" * 64
+        )
+        parsed = unpack_log_records(data)
+        assert [r[0] for r in parsed] == [1, 2]
+
+    def test_torn_tail_ignored(self):
+        record = pack_log_record(1, 100, 0, b"A" * 8)
+        assert unpack_log_records(record[:-4]) == []
+
+
+class TestCrashRecovery:
+    def _crash_txn(self, cluster, server, client, table, key, crash_point):
+        outcome = []
+
+        def scenario():
+            txn = client.begin()
+            old = yield from txn.read_for_update(table, key)
+            txn.write(table, key, _U64.pack(_U64.unpack(old)[0] + 100))
+            result = yield from txn.commit(crash_point=crash_point)
+            outcome.append((txn.txn_id, result))
+
+        drive(cluster, [scenario()])
+        return outcome[0]
+
+    def test_crash_after_lock_leaves_record_locked(self):
+        cluster, server, (client, _), rings = deploy()
+        table = server.create_table("t", 8, 8, initial_payload=_U64.pack(5))
+        txn_id, result = self._crash_txn(
+            cluster, server, client, table, 0, Transaction.CRASH_AFTER_LOCK
+        )
+        assert result == "crashed"
+        lock, version, payload = read_record(server, table, 0)
+        assert lock == txn_id  # stuck lock: the §3.3 nightmare
+
+    def test_recovery_after_log_rolls_back_and_unlocks(self):
+        cluster, server, (client, _), rings = deploy()
+        table = server.create_table("t", 8, 8, initial_payload=_U64.pack(5))
+        txn_id, result = self._crash_txn(
+            cluster, server, client, table, 0, Transaction.CRASH_AFTER_LOG
+        )
+        assert result == "crashed"
+
+        manager = RecoveryManager(server)
+        rolled = manager.recover_log_ring(*rings[0])
+        assert rolled == 1
+        lock, version, payload = read_record(server, table, 0)
+        assert lock == 0  # unlocked
+        assert version == 0  # old version restored
+        assert _U64.unpack(payload)[0] == 5  # old image restored
+
+    def test_recovery_leaves_committed_records_alone(self):
+        cluster, server, (client, _), rings = deploy()
+        table = server.create_table("t", 8, 8, initial_payload=_U64.pack(5))
+
+        def scenario():
+            txn = client.begin()
+            old = yield from txn.read_for_update(table, 1)
+            txn.write(table, 1, _U64.pack(77))
+            ok = yield from txn.commit()
+            assert ok
+
+        drive(cluster, [scenario()])
+        manager = RecoveryManager(server)
+        rolled = manager.recover_log_ring(*rings[0])
+        assert rolled == 0
+        assert manager.already_committed >= 1
+        lock, version, payload = read_record(server, table, 1)
+        assert lock == 0 and version == 1
+        assert _U64.unpack(payload)[0] == 77  # commit preserved
+
+    def test_recovery_repairs_backup_replica(self):
+        cluster, server, (client, _), rings = deploy()
+        table = server.create_table("t", 8, 8, initial_payload=_U64.pack(5))
+        self._crash_txn(
+            cluster, server, client, table, 2, Transaction.CRASH_AFTER_LOG
+        )
+        RecoveryManager(server).recover_log_ring(*rings[0])
+        baddr = table.backup_addr(2)
+        storage = next(
+            n.storage for n in server.memory_nodes
+            if n.node_id == (baddr >> 48) - 1
+        )
+        offset = baddr & ((1 << 48) - 1)
+        assert storage.read_u64(offset) == 0
+        assert storage.read_u64(offset + 16) == 5
+
+    def test_system_usable_after_recovery(self):
+        cluster, server, clients, rings = deploy()
+        table = server.create_table("t", 8, 8, initial_payload=_U64.pack(5))
+        self._crash_txn(
+            cluster, server, clients[0], table, 0, Transaction.CRASH_AFTER_LOG
+        )
+        RecoveryManager(server).recover_log_ring(*rings[0])
+
+        # A surviving client can now lock and update the record again.
+        def body(txn):
+            old = yield from txn.read_for_update(table, 0)
+            txn.write(table, 0, _U64.pack(_U64.unpack(old)[0] + 1))
+            return None
+
+        def scenario():
+            return (yield from clients[1].run(body))
+
+        drive(cluster, [scenario()])
+        lock, version, payload = read_record(server, table, 0)
+        assert lock == 0
+        assert _U64.unpack(payload)[0] == 6
+
+    def test_newest_log_record_wins_per_address(self):
+        cluster, server, (client, _), rings = deploy()
+        table = server.create_table("t", 8, 8, initial_payload=_U64.pack(5))
+        # Commit once (version 5 -> 105, version 1) then crash a second
+        # update after logging: the newer log image (105) must win.
+        self._crash_txn(cluster, server, client, table, 3, None)
+        txn_id, result = self._crash_txn(
+            cluster, server, client, table, 3, "after-log"
+        )
+        assert result == "crashed"
+        RecoveryManager(server).recover_log_ring(*rings[0])
+        lock, version, payload = read_record(server, table, 3)
+        assert lock == 0
+        assert _U64.unpack(payload)[0] == 105  # first commit preserved

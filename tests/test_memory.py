@@ -1,0 +1,136 @@
+"""Tests for the memory-blade substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import MemoryBlade, blade_of, make_addr, offset_of
+from repro.memory.address import NULL_ADDR
+
+
+class TestAddress:
+    def test_roundtrip(self):
+        addr = make_addr(3, 0x1234)
+        assert blade_of(addr) == 3
+        assert offset_of(addr) == 0x1234
+
+    def test_never_null(self):
+        assert make_addr(0, 0) != NULL_ADDR
+
+    @given(st.integers(0, 2**15 - 1), st.integers(0, 2**48 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, blade, offset):
+        addr = make_addr(blade, offset)
+        assert blade_of(addr) == blade
+        assert offset_of(addr) == offset
+        assert addr != NULL_ADDR
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_addr(-1, 0)
+        with pytest.raises(ValueError):
+            make_addr(1 << 15, 0)
+        with pytest.raises(ValueError):
+            make_addr(0, 1 << 48)
+        with pytest.raises(ValueError):
+            blade_of(NULL_ADDR)
+        with pytest.raises(ValueError):
+            offset_of(NULL_ADDR)
+
+
+class TestRegions:
+    def test_alloc_region_cacheline_aligned(self):
+        blade = MemoryBlade(0, capacity=1 << 20)
+        region = blade.alloc_region("a", 100)
+        assert region.base % 64 == 0
+        assert region.size == 100
+
+    def test_regions_do_not_overlap(self):
+        blade = MemoryBlade(0, capacity=1 << 20)
+        a = blade.alloc_region("a", 1000)
+        b = blade.alloc_region("b", 1000)
+        assert a.end <= b.base
+
+    def test_duplicate_name_rejected(self):
+        blade = MemoryBlade(0, capacity=1 << 20)
+        blade.alloc_region("a", 10)
+        with pytest.raises(ValueError):
+            blade.alloc_region("a", 10)
+
+    def test_out_of_memory(self):
+        blade = MemoryBlade(0, capacity=1024)
+        with pytest.raises(MemoryError):
+            blade.alloc_region("big", 4096)
+
+    def test_persistence_flag(self):
+        blade = MemoryBlade(0, capacity=1 << 20)
+        dram = blade.alloc_region("dram", 128)
+        nvm = blade.alloc_region("nvm", 128, persistent=True)
+        assert not blade.is_persistent(dram.base)
+        assert blade.is_persistent(nvm.base)
+        assert blade.is_persistent(nvm.end - 1)
+
+    def test_region_contains(self):
+        blade = MemoryBlade(0, capacity=1 << 20)
+        region = blade.alloc_region("r", 64)
+        assert region.contains(region.base, 64)
+        assert not region.contains(region.base, 65)
+        assert not region.contains(region.base - 1)
+
+
+class TestDataOps:
+    def test_read_write_roundtrip(self):
+        blade = MemoryBlade(0)
+        blade.write(100, b"hello")
+        assert blade.read(100, 5) == b"hello"
+
+    def test_u64_roundtrip(self):
+        blade = MemoryBlade(0)
+        blade.write_u64(64, 0xDEADBEEF)
+        assert blade.read_u64(64) == 0xDEADBEEF
+
+    def test_cas_success_and_failure(self):
+        blade = MemoryBlade(0)
+        blade.write_u64(8, 5)
+        assert blade.compare_and_swap(8, 5, 9) == 5
+        assert blade.read_u64(8) == 9
+        assert blade.compare_and_swap(8, 5, 11) == 9  # fails, returns old
+        assert blade.read_u64(8) == 9
+        assert blade.failed_cas == 1
+
+    def test_faa(self):
+        blade = MemoryBlade(0)
+        blade.write_u64(8, 10)
+        assert blade.fetch_and_add(8, 7) == 10
+        assert blade.read_u64(8) == 17
+
+    def test_faa_wraps_at_64_bits(self):
+        blade = MemoryBlade(0)
+        blade.write_u64(8, (1 << 64) - 1)
+        assert blade.fetch_and_add(8, 2) == (1 << 64) - 1
+        assert blade.read_u64(8) == 1
+
+    def test_bounds_checked(self):
+        blade = MemoryBlade(0, capacity=128)
+        with pytest.raises(IndexError):
+            blade.read(120, 16)
+        with pytest.raises(IndexError):
+            blade.write(-1, b"x")
+
+    def test_bulk_write_skips_stats(self):
+        blade = MemoryBlade(0)
+        blade.bulk_write(0, b"setup")
+        assert blade.writes == 0
+        assert blade.read(0, 5) == b"setup"
+
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_cas_atomicity_property(self, initial, expected, desired):
+        blade = MemoryBlade(0)
+        blade.write_u64(0, initial)
+        old = blade.compare_and_swap(0, expected, desired)
+        assert old == initial
+        if initial == expected:
+            assert blade.read_u64(0) == desired % (1 << 64)
+        else:
+            assert blade.read_u64(0) == initial

@@ -1,0 +1,269 @@
+"""Tests for the RACE hash table (layout, server, client protocol)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.race import layout
+from repro.apps.race.client import HashTableClient
+from repro.apps.race.server import HashTableServer
+from repro.cluster import Cluster
+from repro.core import SmartContext, SmartThread
+from repro.core.features import baseline, full
+
+
+class TestLayout:
+    def test_slot_roundtrip(self):
+        raw = layout.make_slot(12345, 0xABCDEF)
+        slot = layout.decode_slot(raw)
+        assert slot.fingerprint == layout.fingerprint(12345)
+        assert slot.addr == 0xABCDEF
+        assert slot.kv_bytes == layout.KV_BLOCK_BYTES
+
+    @given(st.integers(0, 2**63), st.integers(0, 2**48 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_slot_roundtrip_property(self, key, addr):
+        slot = layout.decode_slot(layout.make_slot(key, addr))
+        assert slot.addr == addr
+        assert slot.fingerprint == layout.fingerprint(key)
+
+    def test_fingerprint_never_zero(self):
+        assert all(layout.fingerprint(k) != 0 for k in range(2000))
+
+    def test_bucket_indices_distinct(self):
+        for key in range(1000):
+            b1, b2 = layout.bucket_indices(key, 64)
+            assert b1 != b2
+            assert 0 <= b1 < 64 and 0 <= b2 < 64
+
+    def test_kv_roundtrip(self):
+        data = layout.pack_kv(7, 9)
+        assert layout.unpack_kv(data) == (7, 9)
+        assert len(data) == layout.KV_BLOCK_BYTES
+
+    def test_directory_index_uses_low_bits(self):
+        key = 42
+        assert layout.directory_index(key, 4) == layout.hash1(key) & 0xF
+
+    def test_slot_encode_validation(self):
+        with pytest.raises(ValueError):
+            layout.Slot(256, 2, 0).encode()
+        with pytest.raises(ValueError):
+            layout.Slot(1, 2, 1 << 48).encode()
+
+
+def deploy(threads=2, memory_nodes=2, segments=8, buckets=64, features=None):
+    """A small table plus one client handle per thread."""
+    cluster = Cluster()
+    compute = cluster.add_node()
+    compute.add_threads(threads)
+    remotes = cluster.add_nodes(memory_nodes)
+    server = HashTableServer(remotes, segments=segments, buckets_per_segment=buckets)
+    features = features or full()
+    SmartContext(compute, remotes, features)
+    smarts = [SmartThread(t, features, seed=i) for i, t in enumerate(compute.threads)]
+    meta = server.meta()
+    clients = [HashTableClient(s.handle(), meta) for s in smarts]
+    return cluster, server, clients, smarts
+
+
+def drive(cluster, generators, until=5e8):
+    results = []
+    for gen in generators:
+        results.append(cluster.sim.spawn(gen))
+    cluster.sim.run(until=until)
+    for proc in results:
+        assert not proc.alive, "client operation did not finish"
+    return [p.value for p in results]
+
+
+class TestServer:
+    def test_bulk_load_then_client_search(self):
+        cluster, server, (client, _), _ = deploy()
+        items = [(k, k * 10) for k in range(500)]
+        assert server.bulk_load(items) == 500
+
+        def lookups():
+            for k in (0, 250, 499):
+                value = yield from client.search(k)
+                assert value == k * 10
+            missing = yield from client.search(100_000)
+            assert missing is None
+
+        drive(cluster, [lookups()])
+
+    def test_rejects_non_power_of_two_segments(self):
+        cluster = Cluster()
+        remotes = cluster.add_nodes(1)
+        with pytest.raises(ValueError):
+            HashTableServer(remotes, segments=6)
+
+    def test_segments_spread_across_blades(self):
+        cluster = Cluster()
+        remotes = cluster.add_nodes(2)
+        server = HashTableServer(remotes, segments=8)
+        blades = {(addr >> 48) - 1 for addr in server.segment_addrs}
+        assert blades == {remotes[0].node_id, remotes[1].node_id}
+
+
+class TestClientOps:
+    def test_insert_search_roundtrip(self):
+        cluster, _, (client, _), _ = deploy()
+
+        def scenario():
+            ok = yield from client.insert(11, 111)
+            assert ok
+            value = yield from client.search(11)
+            assert value == 111
+
+        drive(cluster, [scenario()])
+
+    def test_insert_duplicate_rejected(self):
+        cluster, _, (client, _), _ = deploy()
+
+        def scenario():
+            assert (yield from client.insert(5, 50))
+            assert not (yield from client.insert(5, 51))
+            assert (yield from client.search(5)) == 50
+
+        drive(cluster, [scenario()])
+
+    def test_update_changes_value(self):
+        cluster, server, (client, _), _ = deploy()
+        server.bulk_load([(1, 10)])
+
+        def scenario():
+            assert (yield from client.update(1, 20))
+            assert (yield from client.search(1)) == 20
+            assert not (yield from client.update(404, 1))
+
+        drive(cluster, [scenario()])
+
+    def test_delete(self):
+        cluster, server, (client, _), _ = deploy()
+        server.bulk_load([(1, 10), (2, 20)])
+
+        def scenario():
+            assert (yield from client.delete(1))
+            assert (yield from client.search(1)) is None
+            assert (yield from client.search(2)) == 20
+            assert not (yield from client.delete(1))
+
+        drive(cluster, [scenario()])
+
+    def test_many_inserts_all_findable(self):
+        cluster, _, (client, _), _ = deploy(segments=16, buckets=64)
+
+        def scenario():
+            for k in range(300):
+                assert (yield from client.insert(k, k + 7))
+            for k in range(300):
+                assert (yield from client.search(k)) == k + 7
+
+        drive(cluster, [scenario()], until=5e9)
+
+    def test_concurrent_updates_hot_key_stay_consistent(self):
+        cluster, server, clients, smarts = deploy(threads=4)
+        server.bulk_load([(99, 0)])
+
+        def updater(client, value):
+            ok = yield from client.update(99, value)
+            return ok
+
+        results = drive(
+            cluster, [updater(c, i + 1) for i, c in enumerate(clients)], until=5e9
+        )
+        assert all(results)
+
+        final = []
+
+        def reader():
+            final.append((yield from clients[0].search(99)))
+
+        drive(cluster, [reader()], until=cluster.sim.now + 5e8)
+        assert final[0] in (1, 2, 3, 4)
+
+    def test_contended_updates_record_retries_in_baseline(self):
+        cluster, server, clients, smarts = deploy(threads=8, features=baseline())
+        server.bulk_load([(7, 0)])
+
+        def updater(client, value):
+            for i in range(5):
+                yield from client.update(7, value * 10 + i)
+
+        drive(
+            cluster,
+            [updater(c, i) for i, c in enumerate(clients)],
+            until=5e9,
+        )
+        total_retries = sum(s.stats.retries for s in smarts)
+        total_ops = sum(s.stats.ops for s in smarts)
+        assert total_ops == 40
+        assert total_retries > 0  # hot-key CAS conflicts really happen
+
+    def test_lookup_costs_three_reads(self):
+        """The paper: each lookup requires 3 RDMA READs."""
+        cluster, server, (client, _), _ = deploy(memory_nodes=1)
+        server.bulk_load([(1, 10)])
+        compute = cluster.nodes[0]
+
+        def scenario():
+            yield from client.search(1)
+
+        before = compute.device.counters.wqe_processed
+        drive(cluster, [scenario()])
+        assert compute.device.counters.wqe_processed - before == 3
+
+
+class TestSplits:
+    def test_split_preserves_all_keys(self):
+        # 2 segments x 8 buckets x 7 slots ~ 112 slots; inserting 160 keys
+        # must force at least one split (and a directory double).
+        cluster, _, (client, _), _ = deploy(
+            threads=2, memory_nodes=1, segments=2, buckets=8
+        )
+
+        def scenario():
+            for k in range(160):
+                assert (yield from client.insert(k, k))
+            for k in range(160):
+                assert (yield from client.search(k)) == k, k
+
+        drive(cluster, [scenario()], until=1e10)
+        assert client.meta.global_depth >= 2  # table actually grew
+
+
+class TestRandomizedAgainstModel:
+    def test_random_ops_match_dict(self):
+        cluster, _, (client,), _ = deploy(threads=1, segments=16, buckets=64)
+        rng = random.Random(7)
+        model = {}
+
+        def scenario():
+            for _ in range(400):
+                op = rng.random()
+                key = rng.randrange(120)
+                if op < 0.4:
+                    ok = yield from client.insert(key, key * 2)
+                    assert ok == (key not in model)
+                    if ok:
+                        model[key] = key * 2
+                elif op < 0.6:
+                    value = rng.randrange(1000)
+                    ok = yield from client.update(key, value)
+                    assert ok == (key in model)
+                    if ok:
+                        model[key] = value
+                elif op < 0.8:
+                    value = yield from client.search(key)
+                    assert value == model.get(key)
+                else:
+                    ok = yield from client.delete(key)
+                    assert ok == (key in model)
+                    model.pop(key, None)
+            for key, value in model.items():
+                assert (yield from client.search(key)) == value
+
+        drive(cluster, [scenario()], until=2e10)

@@ -1,0 +1,107 @@
+"""Tests for the reference-result comparison utility."""
+
+import pathlib
+
+import pytest
+
+from repro.bench.reference import (
+    Comparison,
+    compare_all,
+    compare_file,
+    extract_numbers,
+    snapshot,
+)
+
+TABLE = """Figure X: demo
+threads  MOPS   extra
+-------  -----  -----
+      2   4.93   1.00
+     96  110.00  2.50
+paper: something
+"""
+
+
+class TestExtractNumbers:
+    def test_parses_table_rows_only(self):
+        assert extract_numbers(TABLE) == [2, 4.93, 1.0, 96, 110.0, 2.5]
+
+    def test_stops_at_paper_line(self):
+        text = TABLE + "note: 42 irrelevant\n"
+        assert 42 not in extract_numbers(text)
+
+    def test_empty_without_rule(self):
+        assert extract_numbers("no table here 1 2 3") == []
+
+
+class TestCompare:
+    def _write(self, directory, name, text):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / name).write_text(text)
+
+    def test_identical_files_ok(self, tmp_path):
+        self._write(tmp_path / "results", "a.txt", TABLE)
+        self._write(tmp_path / "reference", "a.txt", TABLE)
+        comparison = compare_file(tmp_path / "results" / "a.txt",
+                                  tmp_path / "reference")
+        assert comparison.ok
+        assert comparison.compared_values == 6
+
+    def test_small_drift_within_tolerance(self, tmp_path):
+        drifted = TABLE.replace("110.00", "112.00")  # < 5%
+        self._write(tmp_path / "results", "a.txt", drifted)
+        self._write(tmp_path / "reference", "a.txt", TABLE)
+        assert compare_file(tmp_path / "results" / "a.txt",
+                            tmp_path / "reference").ok
+
+    def test_large_drift_flagged(self, tmp_path):
+        drifted = TABLE.replace("110.00", "55.00")
+        self._write(tmp_path / "results", "a.txt", drifted)
+        self._write(tmp_path / "reference", "a.txt", TABLE)
+        comparison = compare_file(tmp_path / "results" / "a.txt",
+                                  tmp_path / "reference")
+        assert not comparison.ok
+        assert comparison.mismatches[0][1] == 110.0
+
+    def test_missing_reference_reported(self, tmp_path):
+        self._write(tmp_path / "results", "a.txt", TABLE)
+        (tmp_path / "reference").mkdir()
+        comparison = compare_file(tmp_path / "results" / "a.txt",
+                                  tmp_path / "reference")
+        assert comparison.missing_reference and not comparison.ok
+
+    def test_shape_mismatch_flagged(self, tmp_path):
+        shorter = "\n".join(TABLE.splitlines()[:-2]) + "\npaper: x\n"
+        self._write(tmp_path / "results", "a.txt", shorter)
+        self._write(tmp_path / "reference", "a.txt", TABLE)
+        comparison = compare_file(tmp_path / "results" / "a.txt",
+                                  tmp_path / "reference")
+        assert not comparison.ok
+        assert comparison.mismatches[0][0] == -1
+
+    def test_snapshot_and_compare_all_roundtrip(self, tmp_path):
+        results = tmp_path / "results"
+        self._write(results, "a.txt", TABLE)
+        self._write(results, "b.txt", TABLE.replace("110.00", "10.00"))
+        reference = tmp_path / "reference"
+        assert snapshot(results, reference) == 2
+        outcomes = compare_all(results, reference)
+        assert len(outcomes) == 2
+        assert all(c.ok for c in outcomes)
+
+
+class TestCommittedReference:
+    def test_results_match_committed_reference_if_present(self):
+        """When both benchmarks/results and benchmarks/reference exist,
+        the current run should match the snapshot (determinism guard)."""
+        root = pathlib.Path(__file__).resolve().parents[1] / "benchmarks"
+        results, reference = root / "results", root / "reference"
+        if not (results.is_dir() and reference.is_dir()):
+            pytest.skip("no results/reference snapshot in this checkout")
+        outcomes = compare_all(results, reference)
+        checked = [c for c in outcomes if not c.missing_reference]
+        if not checked:
+            pytest.skip("reference snapshot empty")
+        bad = [c for c in checked if not c.ok]
+        assert not bad, [
+            (c.name, c.mismatches[:3]) for c in bad
+        ]

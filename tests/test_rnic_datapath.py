@@ -1,0 +1,200 @@
+"""End-to-end tests of the RDMA data path (post -> remote exec -> CQE)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.rnic import verbs
+from repro.rnic.policies import (
+    MultiplexedQpPolicy,
+    PerThreadContextPolicy,
+    PerThreadQpPolicy,
+    SharedQpPolicy,
+)
+from repro.rnic.qp import cas_wr, faa_wr, read_wr, write_wr
+
+
+def make_cluster(threads=2, memory_nodes=1, policy=None):
+    cluster = Cluster()
+    compute = cluster.add_node()
+    compute.add_threads(threads)
+    remotes = cluster.add_nodes(memory_nodes)
+    (policy or PerThreadQpPolicy()).connect(compute, remotes)
+    return cluster, compute, remotes
+
+
+class TestDataPath:
+    def test_read_returns_remote_bytes(self):
+        cluster, compute, (remote,) = make_cluster()
+        remote.storage.bulk_write(4096, b"ABCDEFGH")
+        thread = compute.threads[0]
+        results = []
+
+        def proc():
+            qp = thread.qp_for(remote.node_id)
+            addr = remote.storage.global_addr(4096)
+            batch = yield from verbs.post_and_wait(thread, qp, [read_wr(addr, 8)])
+            results.append(batch.wrs[0].result)
+
+        cluster.sim.spawn(proc())
+        cluster.sim.run()
+        assert results == [b"ABCDEFGH"]
+
+    def test_write_lands_in_remote_memory(self):
+        cluster, compute, (remote,) = make_cluster()
+        thread = compute.threads[0]
+
+        def proc():
+            qp = thread.qp_for(remote.node_id)
+            addr = remote.storage.global_addr(128)
+            yield from verbs.post_and_wait(thread, qp, [write_wr(addr, b"hi there")])
+
+        cluster.sim.spawn(proc())
+        cluster.sim.run()
+        assert remote.storage.read(128, 8) == b"hi there"
+
+    def test_cas_and_faa(self):
+        cluster, compute, (remote,) = make_cluster()
+        remote.storage.write_u64(256, 7)
+        thread = compute.threads[0]
+        observed = []
+
+        def proc():
+            qp = thread.qp_for(remote.node_id)
+            addr = remote.storage.global_addr(256)
+            batch = yield from verbs.post_and_wait(thread, qp, [cas_wr(addr, 7, 9)])
+            observed.append(batch.wrs[0].result)
+            batch = yield from verbs.post_and_wait(thread, qp, [faa_wr(addr, 5)])
+            observed.append(batch.wrs[0].result)
+
+        cluster.sim.spawn(proc())
+        cluster.sim.run()
+        assert observed == [7, 9]
+        assert remote.storage.read_u64(256) == 14
+
+    def test_concurrent_cas_only_one_wins(self):
+        cluster, compute, (remote,) = make_cluster(threads=8)
+        remote.storage.write_u64(512, 0)
+        addr = remote.storage.global_addr(512)
+        wins = []
+
+        def proc(thread, new_value):
+            qp = thread.qp_for(remote.node_id)
+            batch = yield from verbs.post_and_wait(
+                thread, qp, [cas_wr(addr, 0, new_value)]
+            )
+            if batch.wrs[0].result == 0:
+                wins.append(new_value)
+
+        for i, thread in enumerate(compute.threads):
+            cluster.sim.spawn(proc(thread, i + 1))
+        cluster.sim.run()
+        assert len(wins) == 1
+        assert remote.storage.read_u64(512) == wins[0]
+
+    def test_completion_latency_at_least_rtt(self):
+        cluster, compute, (remote,) = make_cluster()
+        thread = compute.threads[0]
+        latency = []
+
+        def proc():
+            qp = thread.qp_for(remote.node_id)
+            addr = remote.storage.global_addr(0)
+            start = cluster.sim.now
+            yield from verbs.post_and_wait(thread, qp, [read_wr(addr, 8)])
+            latency.append(cluster.sim.now - start)
+
+        cluster.sim.spawn(proc())
+        cluster.sim.run()
+        rtt = 2 * cluster.config.one_way_latency_ns
+        assert latency[0] >= rtt
+        assert latency[0] < rtt + 2000  # small-op overheads only
+
+    def test_outstanding_counter_returns_to_zero(self):
+        cluster, compute, (remote,) = make_cluster(threads=4)
+
+        def proc(thread):
+            qp = thread.qp_for(remote.node_id)
+            addr = remote.storage.global_addr(0)
+            wrs = [read_wr(addr, 8) for _ in range(8)]
+            yield from verbs.post_and_wait(thread, qp, wrs)
+
+        for thread in compute.threads:
+            cluster.sim.spawn(proc(thread))
+        cluster.sim.run()
+        assert compute.device.outstanding == 0
+        assert compute.device.counters.wqe_processed == 32
+        assert compute.device.counters.cqe_delivered == 32
+        assert remote.device.counters.responder_ops == 32
+
+    def test_wrong_blade_routing_raises(self):
+        cluster, compute, remotes = make_cluster(memory_nodes=2)
+        thread = compute.threads[0]
+        bad_addr = remotes[1].storage.global_addr(0)
+
+        def proc():
+            qp = thread.qp_for(remotes[0].node_id)  # wrong QP for that addr
+            yield from verbs.post_and_wait(thread, qp, [read_wr(bad_addr, 8)])
+
+        cluster.sim.spawn(proc())
+        with pytest.raises(RuntimeError, match="routed"):
+            cluster.sim.run()
+
+    def test_nvm_write_slower_than_dram_write(self):
+        def write_latency(persistent):
+            cluster, compute, (remote,) = make_cluster()
+            region = remote.storage.alloc_region("r", 4096, persistent=persistent)
+            thread = compute.threads[0]
+            out = []
+
+            def proc():
+                qp = thread.qp_for(remote.node_id)
+                addr = remote.storage.global_addr(region.base)
+                start = cluster.sim.now
+                yield from verbs.post_and_wait(thread, qp, [write_wr(addr, b"x" * 64)])
+                out.append(cluster.sim.now - start)
+
+            cluster.sim.spawn(proc())
+            cluster.sim.run()
+            return out[0]
+
+        assert write_latency(True) > write_latency(False)
+
+
+class TestPolicies:
+    def test_shared_qp_single_qp_for_all_threads(self):
+        cluster, compute, (remote,) = make_cluster(threads=8, policy=SharedQpPolicy())
+        qps = {t.qp_for(remote.node_id) for t in compute.threads}
+        assert len(qps) == 1
+        assert next(iter(qps)).share_lock is not None
+
+    def test_multiplexed_groups(self):
+        cluster, compute, (remote,) = make_cluster(
+            threads=8, policy=MultiplexedQpPolicy(threads_per_qp=4)
+        )
+        qps = [t.qp_for(remote.node_id) for t in compute.threads]
+        assert len(set(qps)) == 2
+        assert qps[0] is qps[3] and qps[4] is qps[7]
+        assert qps[0] is not qps[4]
+
+    def test_per_thread_qp_distinct_qps_shared_doorbells(self):
+        cluster, compute, (remote,) = make_cluster(threads=20)
+        qps = [t.qp_for(remote.node_id) for t in compute.threads]
+        assert len(set(qps)) == 20
+        assert all(qp.share_lock is None for qp in qps)
+        doorbells = {qp.doorbell.index for qp in qps}
+        assert len(doorbells) == 16  # 4 LL + 12 medium, so sharing occurs
+
+    def test_per_thread_context_many_contexts(self):
+        cluster, compute, (remote,) = make_cluster(
+            threads=8, policy=PerThreadContextPolicy()
+        )
+        assert len(compute.device.contexts) == 8
+        doorbells = {
+            (t.qp_for(remote.node_id).context, t.qp_for(remote.node_id).doorbell.index)
+            for t in compute.threads
+        }
+        assert len(doorbells) == 8  # no cross-thread doorbell sharing
+
+    def test_multiplexed_validates_q(self):
+        with pytest.raises(ValueError):
+            MultiplexedQpPolicy(0)

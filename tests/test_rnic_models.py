@@ -1,0 +1,165 @@
+"""Tests for the RNIC cache/doorbell models and config."""
+
+import pytest
+
+from repro.rnic.caches import MttCacheModel, WqeCacheModel
+from repro.rnic.config import RnicConfig, connectx6, small_scale
+from repro.rnic.counters import PerfCounters
+from repro.rnic.doorbell import LOW_LATENCY, MEDIUM_LATENCY, DoorbellAllocator
+from repro.sim import Simulator
+
+
+class TestConfig:
+    def test_cx6_defaults_match_paper(self):
+        config = connectx6()
+        assert config.max_iops == 110e6
+        assert config.low_latency_uars + config.medium_latency_uars == 16
+        assert config.max_uars == 512
+        assert config.pcie_bandwidth_gbps == 128.0
+
+    def test_derived_rates(self):
+        config = RnicConfig(max_iops=100e6)
+        assert config.iops_service_ns == pytest.approx(10.0)
+        assert config.network_bytes_per_ns == pytest.approx(25.0)
+
+    def test_with_overrides_copies(self):
+        config = connectx6()
+        faster = config.with_overrides(max_iops=200e6)
+        assert faster.max_iops == 200e6
+        assert config.max_iops == 110e6
+
+    def test_cycles_to_ns(self):
+        config = RnicConfig(cpu_ghz=2.0)
+        assert config.cycles_to_ns(4096) == pytest.approx(2048.0)
+
+
+class TestWqeCache:
+    def test_no_misses_below_capacity(self):
+        model = WqeCacheModel(connectx6())
+        assert model.miss_rate(0) == 0.0
+        assert model.miss_rate(768) == 0.0
+        assert model.service_multiplier(768) == 1.0
+        assert model.dma_bytes_per_wr(768) == pytest.approx(93.0)
+
+    def test_calibration_1152_owrs_small_loss(self):
+        """36 threads x 32 OWRs should lose only ~5% throughput (§3.2)."""
+        model = WqeCacheModel(connectx6())
+        relative = 1.0 / model.service_multiplier(1152)
+        assert 0.90 < relative < 0.98
+
+    def test_calibration_3072_owrs_half_throughput(self):
+        """96 threads x 32 OWRs run at ~49.5% of peak (§3.2)."""
+        model = WqeCacheModel(connectx6())
+        relative = 1.0 / model.service_multiplier(3072)
+        assert 0.44 < relative < 0.56
+
+    def test_calibration_dram_traffic(self):
+        """93 -> ~180 bytes per WR from depth 8 to 32 at 96 threads (Fig 4b)."""
+        model = WqeCacheModel(connectx6())
+        assert model.dma_bytes_per_wr(768) == pytest.approx(93.0)
+        assert 165.0 < model.dma_bytes_per_wr(3072) < 195.0
+
+    def test_miss_rate_monotonic(self):
+        model = WqeCacheModel(connectx6())
+        rates = [model.miss_rate(n) for n in range(0, 10000, 500)]
+        assert rates == sorted(rates)
+        assert all(0.0 <= r <= 1.0 for r in rates)
+
+
+class TestMttCache:
+    def test_shared_context_at_baseline(self):
+        model = MttCacheModel(connectx6())
+        assert model.hit_ratio(1) == pytest.approx(0.95)
+        assert model.service_multiplier(1) == pytest.approx(1.0)
+
+    def test_many_contexts_hit_floor(self):
+        model = MttCacheModel(connectx6())
+        assert model.hit_ratio(96) == pytest.approx(0.70)
+        assert model.service_multiplier(96) > 1.5
+
+    def test_monotonic_in_contexts(self):
+        model = MttCacheModel(connectx6())
+        hits = [model.hit_ratio(n) for n in range(1, 40)]
+        assert hits == sorted(hits, reverse=True)
+
+    def test_rejects_zero_contexts(self):
+        with pytest.raises(ValueError):
+            MttCacheModel(connectx6()).hit_ratio(0)
+
+
+class TestDoorbellAllocator:
+    def _alloc(self, total=16):
+        return DoorbellAllocator(Simulator(), connectx6(), total)
+
+    def test_first_four_get_low_latency(self):
+        alloc = self._alloc()
+        for i in range(4):
+            db = alloc.bind_next()
+            assert db.kind == LOW_LATENCY
+            assert db.index == i
+
+    def test_later_qps_round_robin_over_medium(self):
+        alloc = self._alloc()
+        for _ in range(4):
+            alloc.bind_next()
+        indices = [alloc.bind_next().index for _ in range(24)]
+        assert indices == [4 + (i % 12) for i in range(24)]
+
+    def test_peek_matches_bind(self):
+        alloc = self._alloc()
+        for _ in range(20):
+            peeked = alloc.peek_next()
+            bound = alloc.bind_next()
+            assert peeked is bound
+
+    def test_96_threads_share_12_mediums(self):
+        """The Fig-3 setup: 96 QPs on a default context -> ~8 threads/DB."""
+        alloc = self._alloc()
+        for _ in range(96):
+            alloc.bind_next()
+        mediums = [db for db in alloc.doorbells if db.kind == MEDIUM_LATENCY]
+        assert all(db.bound_qps in (7, 8) for db in mediums)
+
+    def test_skip_to_fresh_medium_gives_exclusive_dbs(self):
+        alloc = DoorbellAllocator(Simulator(), connectx6(), 100)
+        seen = set()
+        for _ in range(90):
+            db = alloc.skip_to_fresh_medium()
+            alloc.bind_doorbell(db)
+            assert db.index not in seen
+            seen.add(db.index)
+
+    def test_skip_falls_back_to_sharing_when_exhausted(self):
+        alloc = self._alloc(16)
+        for _ in range(12):
+            alloc.bind_doorbell(alloc.skip_to_fresh_medium())
+        db = alloc.skip_to_fresh_medium()
+        assert db.bound_qps > 0  # reuse, per footnote 4
+
+    def test_total_uuars_validation(self):
+        with pytest.raises(ValueError):
+            self._alloc(2)
+        with pytest.raises(ValueError):
+            self._alloc(1000)
+
+
+class TestCounters:
+    def test_snapshot_delta(self):
+        counters = PerfCounters()
+        counters.wqe_processed = 10
+        counters.dram_bytes = 930.0
+        snap = counters.snapshot()
+        counters.wqe_processed = 25
+        counters.dram_bytes = 2000.0
+        delta = counters.delta(snap)
+        assert delta.wqe_processed == 15
+        assert delta.dram_bytes == pytest.approx(1070.0)
+
+    def test_dram_bytes_per_wr(self):
+        counters = PerfCounters(wqe_processed=10, dram_bytes=930.0)
+        assert counters.dram_bytes_per_wr == pytest.approx(93.0)
+        assert PerfCounters().dram_bytes_per_wr == 0.0
+
+    def test_miss_rate(self):
+        counters = PerfCounters(wqe_processed=100, wqe_cache_miss_wrs=25.0)
+        assert counters.wqe_miss_rate == pytest.approx(0.25)

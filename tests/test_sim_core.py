@@ -1,0 +1,227 @@
+"""Unit tests for the DES kernel (repro.sim.core)."""
+
+import pytest
+
+from repro.sim import Event, Interrupt, Simulator
+from repro.sim.core import SimulationError
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield sim.timeout(10)
+        log.append(sim.now)
+        yield sim.timeout(5)
+        log.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert log == [10, 15]
+
+
+def test_timeout_value_passed_to_process():
+    sim = Simulator()
+
+    def proc():
+        value = yield sim.timeout(3, "hello")
+        return value
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert p.value == "hello"
+
+
+def test_zero_delay_timeout_runs_same_instant():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(0)
+        return sim.now
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert p.value == 0
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1)
+
+
+def test_event_fire_wakes_waiters_in_order():
+    sim = Simulator()
+    done = sim.event()
+    order = []
+
+    def waiter(tag):
+        value = yield done
+        order.append((tag, value, sim.now))
+
+    def firer():
+        yield sim.timeout(7)
+        done.fire(42)
+
+    sim.spawn(waiter("a"))
+    sim.spawn(waiter("b"))
+    sim.spawn(firer())
+    sim.run()
+    assert order == [("a", 42, 7), ("b", 42, 7)]
+
+
+def test_waiting_on_already_fired_event():
+    sim = Simulator()
+    done = sim.event()
+    done.fire("x")
+
+    def proc():
+        value = yield done
+        return value
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert p.value == "x"
+
+
+def test_event_double_fire_raises():
+    sim = Simulator()
+    done = sim.event()
+    done.fire()
+    with pytest.raises(SimulationError):
+        done.fire()
+
+
+def test_process_is_waitable_and_returns_value():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(4)
+        return 99
+
+    def parent():
+        value = yield sim.spawn(child())
+        return (value, sim.now)
+
+    p = sim.spawn(parent())
+    sim.run()
+    assert p.value == (99, 4)
+
+
+def test_process_alive_flag():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1)
+
+    p = sim.spawn(proc())
+    assert p.alive
+    sim.run()
+    assert not p.alive
+
+
+def test_run_until_stops_clock_at_bound():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(100)
+
+    sim.spawn(proc())
+    sim.run(until=40)
+    assert sim.now == 40
+    sim.run()
+    assert sim.now == 100
+
+
+def test_run_until_beyond_last_event_sets_clock():
+    sim = Simulator()
+    sim.run(until=55)
+    assert sim.now == 55
+
+
+def test_all_of_collects_values():
+    sim = Simulator()
+
+    def child(delay, value):
+        yield sim.timeout(delay)
+        return value
+
+    def parent():
+        procs = [sim.spawn(child(10, "a")), sim.spawn(child(5, "b"))]
+        values = yield sim.all_of(procs)
+        return (values, sim.now)
+
+    p = sim.spawn(parent())
+    sim.run()
+    assert p.value == (["a", "b"], 10)
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+
+    def parent():
+        values = yield sim.all_of([])
+        return values
+
+    p = sim.spawn(parent())
+    sim.run()
+    assert p.value == []
+
+
+def test_interrupt_delivered_as_exception():
+    sim = Simulator()
+    caught = []
+
+    def victim():
+        try:
+            yield sim.timeout(1000)
+        except Interrupt as exc:
+            caught.append((exc.cause, sim.now))
+
+    def attacker(target):
+        yield sim.timeout(3)
+        target.interrupt("stop")
+
+    v = sim.spawn(victim())
+    sim.spawn(attacker(v))
+    sim.run()
+    assert caught == [("stop", 3)]
+
+
+def test_yield_non_waitable_raises():
+    sim = Simulator()
+
+    def proc():
+        yield 42
+
+    sim.spawn(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_call_after_and_call_at():
+    sim = Simulator()
+    log = []
+    sim.call_after(5, lambda: log.append(("after", sim.now)))
+    sim.call_at(3, lambda: log.append(("at", sim.now)))
+    sim.run()
+    assert log == [("at", 3), ("after", 5)]
+
+
+def test_determinism_same_instant_fifo():
+    sim = Simulator()
+    log = []
+    for i in range(10):
+        sim.call_at(1, lambda i=i: log.append(i))
+    sim.run()
+    assert log == list(range(10))
+
+
+def test_peek_and_step():
+    sim = Simulator()
+    sim.call_at(9, lambda: None)
+    assert sim.peek() == 9
+    assert sim.step()
+    assert sim.now == 9
+    assert not sim.step()

@@ -1,0 +1,160 @@
+"""Edge-case tests for the SMART handle: chunking, credit flow under
+C_max changes, and multi-coroutine interleaving."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import SmartContext, SmartThread
+from repro.core.features import SmartFeatures, baseline, full
+
+
+def make_env(features, threads=1, memory_nodes=1):
+    cluster = Cluster()
+    compute = cluster.add_node()
+    compute.add_threads(threads)
+    remotes = cluster.add_nodes(memory_nodes)
+    SmartContext(compute, remotes, features)
+    smarts = [SmartThread(t, features, seed=i) for i, t in enumerate(compute.threads)]
+    return cluster, compute, remotes, smarts
+
+
+class TestChunking:
+    def test_batch_larger_than_cmax_is_chunked(self):
+        features = full().with_overrides(
+            adaptive_credit=False, initial_cmax=4,
+            backoff=False, dynamic_backoff_limit=False, coroutine_throttling=False,
+        )
+        cluster, compute, (remote,), (smart,) = make_env(features)
+        handle = smart.handle()
+        addr = remote.storage.global_addr(0)
+        done = []
+
+        def proc():
+            for _ in range(16):  # 16 reads >> C_max=4
+                handle.read(addr, 8)
+            yield from handle.post_send()
+            yield from handle.sync()
+            done.append(cluster.sim.now)
+
+        cluster.sim.spawn(proc())
+        cluster.sim.run(until=1e7)
+        assert done, "oversized batch deadlocked"
+        # 16 WRs in chunks of 4 -> at least 4 doorbell rings.
+        assert compute.device.counters.doorbell_rings >= 4
+        assert smart.throttler.completed == 16
+        assert smart.throttler.credits.tokens == 4
+
+    def test_empty_post_send_is_noop(self):
+        cluster, compute, _, (smart,) = make_env(full())
+        handle = smart.handle()
+
+        def proc():
+            yield from handle.post_send()
+            yield from handle.sync()
+            return "done"
+
+        proc_obj = cluster.sim.spawn(proc())
+        cluster.sim.run(until=1e6)
+        assert proc_obj.value == "done"
+        assert compute.device.counters.doorbell_rings == 0
+
+
+class TestCreditFlowUnderCmaxChange:
+    def test_shrinking_cmax_midflight_recovers(self):
+        features = full().with_overrides(
+            adaptive_credit=False, initial_cmax=8,
+            backoff=False, dynamic_backoff_limit=False, coroutine_throttling=False,
+        )
+        cluster, _, (remote,), (smart,) = make_env(features)
+        handle = smart.handle()
+        addr = remote.storage.global_addr(0)
+        finished = []
+
+        def proc():
+            for round_number in range(20):
+                for _ in range(6):
+                    handle.read(addr, 8)
+                yield from handle.post_send()
+                if round_number == 3:
+                    smart.throttler.update_cmax(2)
+                yield from handle.sync()
+            finished.append(True)
+
+        cluster.sim.spawn(proc())
+        cluster.sim.run(until=1e8)
+        assert finished
+        assert smart.throttler.cmax == 2
+        assert smart.throttler.credits.tokens == 2
+
+
+class TestMultiCoroutine:
+    def test_coroutines_share_thread_but_not_batches(self):
+        features = full().with_overrides(
+            backoff=False, dynamic_backoff_limit=False, coroutine_throttling=False
+        )
+        cluster, _, (remote,), (smart,) = make_env(features)
+        addr = remote.storage.global_addr(64)
+        remote.storage.write_u64(64, 0)
+        results = []
+
+        def coroutine(value):
+            handle = smart.handle()
+            old = yield from handle.faa_sync(addr, value)
+            results.append(old)
+
+        for value in (1, 10, 100):
+            cluster.sim.spawn(coroutine(value))
+        cluster.sim.run(until=1e7)
+        assert len(results) == 3
+        assert remote.storage.read_u64(64) == 111
+
+    def test_interleaved_sync_only_waits_own_batches(self):
+        cluster, _, (remote,), (smart,) = make_env(full())
+        a, b = smart.handle(), smart.handle()
+        addr = remote.storage.global_addr(0)
+        order = []
+
+        def slow():
+            for _ in range(64):
+                a.read(addr, 8)
+            yield from a.post_send()
+            yield from a.sync()
+            order.append("slow")
+
+        def fast():
+            b.read(addr, 8)
+            yield from b.post_send()
+            yield from b.sync()
+            order.append("fast")
+
+        cluster.sim.spawn(slow())
+        cluster.sim.spawn(fast())
+        cluster.sim.run(until=1e8)
+        assert order[0] == "fast"  # not blocked behind the big batch
+
+
+class TestBeginEndOpDiscipline:
+    def test_nested_begin_without_end_detected_by_stats(self):
+        cluster, _, _, (smart,) = make_env(full())
+        handle = smart.handle()
+
+        def proc():
+            yield from handle.begin_op()
+            yield from handle.begin_op()  # op restarted (allowed)
+            handle.end_op()
+
+        cluster.sim.spawn(proc())
+        cluster.sim.run(until=1e6)
+        assert smart.stats.ops == 1
+
+    def test_failed_flag_recorded(self):
+        cluster, _, _, (smart,) = make_env(full())
+        handle = smart.handle()
+
+        def proc():
+            yield from handle.begin_op()
+            handle.end_op(failed=True)
+
+        cluster.sim.spawn(proc())
+        cluster.sim.run(until=1e6)
+        assert smart.stats.failed_ops == 1

@@ -1,0 +1,94 @@
+"""Tests for OperationStats (latency sampling, retries, merging)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import OperationStats
+
+
+class TestRecording:
+    def test_basic_counts(self):
+        stats = OperationStats()
+        stats.record_op(1000, retries=2)
+        stats.record_op(2000, retries=0, failed=True)
+        assert stats.ops == 2
+        assert stats.retries == 2
+        assert stats.failed_ops == 1
+        assert stats.avg_retries == 1.0
+
+    def test_recording_flag_suppresses(self):
+        stats = OperationStats()
+        stats.recording = False
+        stats.record_op(1000)
+        assert stats.ops == 0
+
+    def test_retry_histogram_caps_at_32(self):
+        stats = OperationStats()
+        stats.record_op(1, retries=100)
+        assert stats.retry_histogram[32] == 1
+
+    def test_retry_distribution_fractions(self):
+        stats = OperationStats()
+        for _ in range(3):
+            stats.record_op(1, retries=0)
+        stats.record_op(1, retries=2)
+        dist = stats.retry_distribution()
+        assert dist[0] == pytest.approx(0.75)
+        assert dist[2] == pytest.approx(0.25)
+        assert OperationStats().retry_distribution() == {}
+
+    def test_reset(self):
+        stats = OperationStats()
+        stats.record_op(1, retries=1)
+        stats.reset()
+        assert stats.ops == 0 and stats.retries == 0
+        assert stats.latencies_ns == []
+
+
+class TestLatencySampling:
+    def test_percentiles(self):
+        stats = OperationStats()
+        for latency in range(1, 101):
+            stats.record_op(float(latency))
+        assert stats.latency_percentile_ns(0.5) == 50.0
+        assert stats.latency_percentile_ns(0.99) == 99.0
+        assert OperationStats().latency_percentile_ns(0.5) is None
+
+    def test_stride_doubles_when_full(self):
+        stats = OperationStats()
+        stats.MAX_LATENCY_SAMPLES = 100
+        for latency in range(500):
+            stats.record_op(float(latency))
+        assert stats._sample_stride > 1
+        assert len(stats.latencies_ns) < 200
+        # Percentiles still roughly correct under downsampling.
+        p50 = stats.latency_percentile_ns(0.5)
+        assert 150 < p50 < 350
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_percentile_within_range(self, latencies):
+        stats = OperationStats()
+        for latency in latencies:
+            stats.record_op(latency)
+        p99 = stats.latency_percentile_ns(0.99)
+        assert min(latencies) <= p99 <= max(latencies)
+
+
+class TestMerge:
+    def test_merge_sums_everything(self):
+        a, b = OperationStats(), OperationStats()
+        a.record_op(10, retries=1)
+        b.record_op(20, retries=2, failed=True)
+        b.record_op(30)
+        merged = OperationStats.merge([a, b])
+        assert merged.ops == 3
+        assert merged.retries == 3
+        assert merged.failed_ops == 1
+        assert merged.latencies_ns == [10, 20, 30]
+        assert merged.retry_histogram[0] == 1
+
+    def test_merge_empty_list(self):
+        merged = OperationStats.merge([])
+        assert merged.ops == 0

@@ -1,0 +1,89 @@
+"""Tests for batch lifecycle tracing."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.rnic import verbs
+from repro.rnic.policies import PerThreadQpPolicy
+from repro.rnic.qp import read_wr
+from repro.rnic.trace import STAGES, Tracer
+
+
+def traced_cluster(threads=2):
+    cluster = Cluster()
+    compute = cluster.add_node()
+    compute.add_threads(threads)
+    (remote,) = cluster.add_nodes(1)
+    PerThreadQpPolicy().connect(compute, [remote])
+    compute.device.tracer = Tracer()
+    return cluster, compute, remote
+
+
+class TestTracerUnit:
+    def test_rejects_bad_stage(self):
+        with pytest.raises(ValueError):
+            Tracer().record(1, "nope", 0)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(0)
+
+    def test_eviction_beyond_capacity(self):
+        tracer = Tracer(capacity=2)
+        for batch_id in range(5):
+            tracer.record(batch_id, "posted", batch_id)
+        assert tracer.dropped == 3
+
+    def test_tail_of_unknown_batch_ignored(self):
+        tracer = Tracer()
+        tracer.record(77, "completed", 5)
+        assert tracer.complete_batches() == []
+
+    def test_summary_none_when_empty(self):
+        assert Tracer().summary() is None
+
+
+class TestEndToEndTracing:
+    def test_full_lifecycle_recorded(self):
+        cluster, compute, remote = traced_cluster()
+        thread = compute.threads[0]
+
+        def proc():
+            qp = thread.qp_for(remote.node_id)
+            addr = remote.storage.global_addr(0)
+            yield from verbs.post_and_wait(thread, qp, [read_wr(addr, 8)])
+
+        cluster.sim.spawn(proc())
+        cluster.sim.run()
+        complete = compute.device.tracer.complete_batches()
+        assert len(complete) == 1
+        timestamps = complete[0]
+        ordered = [timestamps[s] for s in STAGES]
+        assert ordered == sorted(ordered)
+
+    def test_summary_segments_add_up(self):
+        cluster, compute, remote = traced_cluster()
+
+        def proc(thread):
+            qp = thread.qp_for(remote.node_id)
+            addr = remote.storage.global_addr(0)
+            for _ in range(10):
+                yield from verbs.post_and_wait(
+                    thread, qp, [read_wr(addr, 8) for _ in range(4)]
+                )
+
+        for thread in compute.threads:
+            cluster.sim.spawn(proc(thread))
+        cluster.sim.run()
+        summary = compute.device.tracer.summary()
+        assert summary["batches"] == 20
+        parts = (
+            summary["post_to_issue"]
+            + summary["issue_to_remote"]
+            + summary["remote_queue_and_exec"]
+            + summary["return_flight"]
+        )
+        assert parts == pytest.approx(summary["total"], rel=1e-6)
+        # Flight segments each carry one propagation delay.
+        assert summary["issue_to_remote"] >= cluster.config.one_way_latency_ns
+        assert summary["return_flight"] >= cluster.config.one_way_latency_ns

@@ -1,0 +1,121 @@
+"""Unit tests for the posting path costs (verbs + doorbell model)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.rnic import verbs
+from repro.rnic.config import RnicConfig, connectx6
+from repro.rnic.doorbell import Doorbell, MEDIUM_LATENCY
+from repro.rnic.policies import PerThreadQpPolicy, SharedQpPolicy
+from repro.rnic.qp import read_wr
+from repro.sim import Simulator
+
+
+class TestDoorbellCostModel:
+    def _doorbell(self, config):
+        return Doorbell(Simulator(), config, 5, MEDIUM_LATENCY)
+
+    def test_exclusive_doorbell_cost(self):
+        config = connectx6()
+        db = self._doorbell(config)
+        db.note_user(0)
+        # One user: mmio + per-WQE copy, no sharing terms.
+        expected = config.doorbell_mmio_ns + config.wqe_under_lock_ns * 8
+        assert db.held_cost_ns(config, 8) == pytest.approx(expected)
+
+    def test_shared_doorbell_cost_grows_with_users(self):
+        config = connectx6()
+        db = self._doorbell(config)
+        costs = []
+        for user in range(8):
+            db.note_user(user)
+            costs.append(db.held_cost_ns(config, 8))
+        assert costs == sorted(costs)
+        # 8 sharers on a batch-8 ring: the microbench-collapse regime
+        # (~1.9 us per ring).
+        assert costs[-1] > 1500
+
+    def test_single_wqe_ring_stays_cheap_when_shared(self):
+        """Sherman's regime: 8 sharers but single-WQE rings must still be
+        under ~1 us (the paper's ~16 M rings/s through shared DBs)."""
+        config = connectx6()
+        db = self._doorbell(config)
+        for user in range(8):
+            db.note_user(user)
+        assert db.held_cost_ns(config, 1) < 1000
+
+    def test_sharer_count_capped(self):
+        config = connectx6()
+        db = self._doorbell(config)
+        for user in range(100):
+            db.note_user(user)
+        capped = db.held_cost_ns(config, 1)
+        db.note_user(101)
+        assert db.held_cost_ns(config, 1) == capped
+
+
+class TestPostingPath:
+    def _setup(self, policy):
+        cluster = Cluster()
+        compute = cluster.add_node()
+        compute.add_threads(2)
+        (remote,) = cluster.add_nodes(1)
+        policy.connect(compute, [remote])
+        return cluster, compute, remote
+
+    def test_post_send_registers_doorbell_user(self):
+        cluster, compute, remote = self._setup(PerThreadQpPolicy())
+        thread = compute.threads[0]
+        qp = thread.qp_for(remote.node_id)
+
+        def proc():
+            yield from verbs.post_and_wait(
+                thread, qp, [read_wr(remote.storage.global_addr(0), 8)]
+            )
+
+        cluster.sim.spawn(proc())
+        cluster.sim.run()
+        assert thread.thread_id in qp.doorbell.users
+        assert qp.doorbell.rings == 1
+        assert qp.posted_wrs == 1 and qp.completed_wrs == 1
+        assert qp.outstanding == 0
+
+    def test_shared_qp_serializes_two_threads(self):
+        cluster, compute, remote = self._setup(SharedQpPolicy())
+        qp = compute.threads[0].qp_for(remote.node_id)
+        in_lock = []
+
+        def proc(thread):
+            yield from verbs.post_and_wait(
+                thread, qp, [read_wr(remote.storage.global_addr(0), 8)]
+            )
+            in_lock.append(cluster.sim.now)
+
+        for thread in compute.threads:
+            cluster.sim.spawn(proc(thread))
+        cluster.sim.run()
+        assert len(qp.users) == 2
+        assert qp.sharing_penalty_ns(cluster.config) > 0
+
+    def test_unshared_qp_has_no_share_penalty(self):
+        cluster, compute, remote = self._setup(PerThreadQpPolicy())
+        qp = compute.threads[0].qp_for(remote.node_id)
+        assert qp.sharing_penalty_ns(cluster.config) == 0.0
+
+    def test_wait_completion_idempotent_after_done(self):
+        cluster, compute, remote = self._setup(PerThreadQpPolicy())
+        thread = compute.threads[0]
+        qp = thread.qp_for(remote.node_id)
+        out = []
+
+        def proc():
+            batch = yield from verbs.post_send(
+                thread, qp, [read_wr(remote.storage.global_addr(0), 8)]
+            )
+            yield cluster.sim.timeout(100_000)  # completes long before
+            yield from verbs.wait_completion(thread, batch)
+            out.append(batch.completed_at)
+
+        cluster.sim.spawn(proc())
+        cluster.sim.run()
+        assert out[0] is not None and out[0] < 100_000

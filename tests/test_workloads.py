@@ -1,0 +1,107 @@
+"""Tests for the workload generators (YCSB, SmallBank, TATP streams)."""
+
+from collections import Counter
+from itertools import islice
+
+import pytest
+
+from repro.workloads import smallbank, tatp
+from repro.workloads.ycsb import (
+    INSERT,
+    READ,
+    READ_HEAVY,
+    READ_ONLY,
+    UPDATE,
+    UPDATE_ONLY,
+    WRITE_HEAVY,
+    YcsbWorkload,
+)
+
+
+class TestYcsb:
+    def test_mix_fractions_validated(self):
+        with pytest.raises(ValueError):
+            YcsbWorkload("bad", read_fraction=0.5, update_fraction=0.6)
+
+    def test_paper_mixes(self):
+        assert WRITE_HEAVY.update_fraction == 0.5
+        assert READ_HEAVY.update_fraction == 0.05
+        assert READ_ONLY.read_fraction == 1.0
+
+    def test_stream_op_ratios(self):
+        ops = Counter(
+            op for op, _, _ in islice(WRITE_HEAVY.stream(1000, seed=1), 4000)
+        )
+        assert 0.45 < ops[READ] / 4000 < 0.55
+        assert 0.45 < ops[UPDATE] / 4000 < 0.55
+
+    def test_read_only_stream_has_no_updates(self):
+        ops = {op for op, _, _ in islice(READ_ONLY.stream(1000, seed=2), 500)}
+        assert ops == {READ}
+
+    def test_insert_keys_are_fresh_and_increasing(self):
+        workload = YcsbWorkload("ins", 0.0, 0.0, insert_fraction=1.0)
+        keys = [k for _, k, _ in islice(workload.stream(100, seed=3), 50)]
+        assert keys == sorted(keys)
+        assert all(k >= 100 for k in keys)
+        assert len(set(keys)) == 50
+
+    def test_streams_with_different_seeds_differ(self):
+        a = [k for _, k, _ in islice(WRITE_HEAVY.stream(1000, 1), 50)]
+        b = [k for _, k, _ in islice(WRITE_HEAVY.stream(1000, 2), 50)]
+        assert a != b
+
+    def test_with_theta_changes_skew(self):
+        uniform = WRITE_HEAVY.with_theta(0.0)
+        keys = Counter(k for _, k, _ in islice(uniform.stream(50, seed=4), 3000))
+        assert max(keys.values()) < 150  # ~60 expected per key
+
+    def test_zipfian_stream_is_skewed(self):
+        keys = Counter(
+            k for _, k, _ in islice(UPDATE_ONLY.stream(10_000, seed=5), 5000)
+        )
+        top_share = keys.most_common(1)[0][1] / 5000
+        assert top_share > 0.04  # hot key carries a visible share
+
+    def test_load_items_deterministic(self):
+        assert list(YcsbWorkload.load_items(10, seed=1)) == list(
+            YcsbWorkload.load_items(10, seed=1)
+        )
+
+
+class TestSmallBankStream:
+    def test_mix_covers_all_profiles(self):
+        profiles = Counter(
+            p for p, _, _ in islice(smallbank.transaction_stream(1000, 1), 6000)
+        )
+        assert set(profiles) == {name for name, _ in smallbank.MIX}
+        # SendPayment is the largest slice (25%).
+        assert profiles.most_common(1)[0][0] == smallbank.SEND_PAYMENT
+
+    def test_accounts_distinct(self):
+        for _, (a1, a2), _ in islice(smallbank.transaction_stream(100, 2), 500):
+            assert a1 != a2
+            assert 0 <= a1 < 100 and 0 <= a2 < 100
+
+    def test_amounts_positive(self):
+        assert all(
+            amount > 0
+            for _, _, amount in islice(smallbank.transaction_stream(100, 3), 500)
+        )
+
+
+class TestTatpStream:
+    def test_read_only_share_about_80_percent(self):
+        profiles = Counter(
+            p for p, _, _ in islice(tatp.transaction_stream(1000, 1), 8000)
+        )
+        read_only = (
+            profiles[tatp.GET_SUBSCRIBER_DATA]
+            + profiles[tatp.GET_NEW_DESTINATION]
+            + profiles[tatp.GET_ACCESS_DATA]
+        )
+        assert 0.75 < read_only / 8000 < 0.85
+
+    def test_subscriber_ids_in_range(self):
+        for _, sub, _ in islice(tatp.transaction_stream(321, 2), 500):
+            assert 0 <= sub < 321
