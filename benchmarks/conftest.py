@@ -4,12 +4,17 @@ Each benchmark file regenerates one paper figure or table: it runs the
 experiment grid (quick subsample by default, full grid with
 ``REPRO_FULL=1``), prints the same series the paper plots, and times one
 representative simulation point through pytest-benchmark.
+
+Grids fan out over a process pool when ``REPRO_JOBS=N`` is set (the
+points are independent simulations; see ``repro.bench.parallel``) —
+most useful together with ``REPRO_FULL=1``, whose grids take minutes
+serially.
 """
 
 import pathlib
-import re
 
-import pytest
+from repro.bench.parallel import default_jobs
+from repro.bench.report import write_experiment_json, write_experiment_text
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -19,14 +24,14 @@ def run_and_report(benchmark, experiment_fn, point_fn):
 
     ``point_fn`` is a single representative simulation (kept small) that
     pytest-benchmark times; ``experiment_fn`` regenerates the figure.
-    The formatted table is also written to ``benchmarks/results/`` so it
-    survives pytest's output capturing.
+    The formatted table is written to ``benchmarks/results/`` (with a
+    machine-readable ``.json`` twin) so it survives pytest's output
+    capturing.
     """
-    result = experiment_fn()
+    result = experiment_fn(jobs=default_jobs())
     print()
     print(result.format())
-    RESULTS_DIR.mkdir(exist_ok=True)
-    slug = re.sub(r"[^a-z0-9]+", "-", result.name.lower()).strip("-")[:60]
-    (RESULTS_DIR / f"{slug}.txt").write_text(result.format() + "\n")
+    write_experiment_text(result, RESULTS_DIR)
+    write_experiment_json(result, RESULTS_DIR)
     benchmark.pedantic(point_fn, rounds=1, iterations=1)
     return result

@@ -15,6 +15,10 @@ This module provides the simulated equivalent::
     python -m repro.bench.cli --help
 
 and can append a CSV line to a dump file, exactly like the artifact.
+
+Figure grids run through the same tool: ``--figure fig7`` regenerates a
+paper figure, and ``--jobs N`` (or ``REPRO_JOBS=N``) fans its
+independent simulation points out over a process pool.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ import time
 from typing import List, Optional
 
 from repro.bench.microbench import POLICIES, run_microbench
+from repro.bench.parallel import default_jobs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,11 +52,45 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--dump-file-path", default=None,
                         help="append a CSV result line to this file")
+    parser.add_argument("--figure", default=None, metavar="NAME",
+                        help="regenerate a paper figure/table grid instead of "
+                             "a single point (fig3..fig14, table1; 'all' runs "
+                             "the whole suite)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="process-pool workers for --figure grids "
+                             "(default: $REPRO_JOBS or 1 = serial)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="with --figure: also write the result rows as JSON")
     return parser
+
+
+def run_figures(args) -> int:
+    from repro.bench.experiments import ALL_EXPERIMENTS
+    from repro.bench.report import write_experiment_json
+
+    names = list(ALL_EXPERIMENTS) if args.figure == "all" else [args.figure]
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown figure(s) {unknown}; choose from "
+              f"{', '.join(ALL_EXPERIMENTS)} or 'all'", file=sys.stderr)
+        return 2
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    for name in names:
+        started = time.time()
+        result = ALL_EXPERIMENTS[name](jobs=jobs)
+        wall_s = time.time() - started
+        print(result.format())
+        print(f"[{name}] wall time={wall_s:.1f} s (jobs={jobs})")
+        print()
+        if args.json:
+            write_experiment_json(result, args.json)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.figure:
+        return run_figures(args)
     started = time.time()
     result = run_microbench(
         policy=args.policy,

@@ -5,6 +5,13 @@ Every function regenerates the corresponding experiment and returns an
 Grids default to a "quick" subsample of the paper's x-axes so the whole
 suite runs in minutes; set ``REPRO_FULL=1`` for the full grids.
 
+Each figure declares its grid as a list of :class:`PointSpec`s and
+routes them through :func:`repro.bench.parallel.run_points`, so the
+fully independent simulation points can fan out over a process pool:
+pass ``jobs=N`` (or set ``REPRO_JOBS=N``) to parallelize.  Results are
+collected in spec order, which keeps the emitted tables — and every
+simulated number in them — identical between serial and parallel runs.
+
 Absolute numbers come from the simulated RNIC, so they are compared to
 the paper by *shape* (who wins, by what factor, where curves peak) — see
 EXPERIMENTS.md for the per-experiment comparison.
@@ -16,15 +23,9 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.bench.microbench import run_dynamic_microbench, run_microbench
+from repro.bench.parallel import PointSpec, run_points
 from repro.bench.report import format_table
-from repro.bench.runner import (
-    BENCH_DELTA_NS,
-    bench_features,
-    run_btree,
-    run_dtx,
-    run_hashtable,
-)
+from repro.bench.runner import BENCH_DELTA_NS, bench_features
 from repro.core.features import SmartFeatures, baseline, cumulative_ladder, full
 from repro.workloads.ycsb import (
     READ_HEAVY,
@@ -76,6 +77,16 @@ class ExperimentResult:
         index = self.headers.index(column)
         return [row[index] for row in self.rows]
 
+    def to_dict(self) -> Dict:
+        """JSON-ready form (the machine-readable twin of :meth:`format`)."""
+        return {
+            "name": self.name,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "paper_claim": self.paper_claim,
+            "observations": list(self.observations),
+        }
+
 
 # -- Section 3: scalability bottlenecks ---------------------------------------------
 
@@ -84,19 +95,22 @@ def fig3_qp_policies(
     threads: Optional[Sequence[int]] = None,
     op: str = "read",
     measure_ns: float = 1.0e6,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 3: 8-byte READ/WRITE throughput under QP allocation policies."""
     threads = threads or _grid((2, 8, 32, 48, 96), (2, 4, 8, 16, 24, 32, 48, 64, 80, 96))
     policies = ("shared-qp", "multiplexed-qp", "per-thread-qp", "per-thread-db")
-    rows = []
-    for t in threads:
-        row: List = [t]
-        for policy in policies:
-            result = run_microbench(
-                policy=policy, threads=t, depth=8, op=op, measure_ns=measure_ns
-            )
-            row.append(result.throughput_mops)
-        rows.append(row)
+    specs = [
+        PointSpec("run_microbench", dict(
+            policy=policy, threads=t, depth=8, op=op, measure_ns=measure_ns,
+        ))
+        for t in threads
+        for policy in policies
+    ]
+    results = iter(run_points(specs, jobs=jobs))
+    rows = [
+        [t] + [next(results).throughput_mops for _ in policies] for t in threads
+    ]
     return ExperimentResult(
         name=f"Figure 3 ({op}): throughput (MOPS) vs threads by QP policy",
         headers=["threads"] + list(policies),
@@ -114,17 +128,22 @@ def fig4_cache_thrashing(
     threads: Optional[Sequence[int]] = None,
     depths: Optional[Sequence[int]] = None,
     op: str = "read",
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 4: throughput and DRAM traffic vs outstanding work requests."""
     threads = threads or _grid((16, 36, 96), (16, 36, 64, 96))
     depths = depths or _grid((2, 8, 32), (1, 2, 4, 8, 16, 32, 64))
-    rows = []
-    for t in threads:
-        for d in depths:
-            result = run_microbench(
-                policy="per-thread-db", threads=t, depth=d, op=op, measure_ns=1.0e6
-            )
-            rows.append([t, d, t * d, result.throughput_mops, result.dram_bytes_per_wr])
+    points = [(t, d) for t in threads for d in depths]
+    specs = [
+        PointSpec("run_microbench", dict(
+            policy="per-thread-db", threads=t, depth=d, op=op, measure_ns=1.0e6,
+        ))
+        for t, d in points
+    ]
+    rows = [
+        [t, d, t * d, result.throughput_mops, result.dram_bytes_per_wr]
+        for (t, d), result in zip(points, run_points(specs, jobs=jobs))
+    ]
     return ExperimentResult(
         name=f"Figure 4 ({op}): OWR sweep (per-thread doorbell)",
         headers=["threads", "owrs/thread", "total_owrs", "MOPS", "dram_B/wr"],
@@ -139,29 +158,32 @@ def fig4_cache_thrashing(
 def fig5_race_contention(
     threads: Optional[Sequence[int]] = None,
     thetas: Optional[Sequence[float]] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 5: RACE update throughput/latency vs threads and skew."""
     threads = threads or _grid((2, 8, 96), (2, 4, 8, 16, 32, 64, 96))
     thetas = thetas or _grid((0.0, 0.99), (0.0, 0.5, 0.8, 0.9, 0.95, 0.99))
-    rows = []
-    for t in threads:
-        result = run_hashtable(
-            "race", UPDATE_ONLY, threads=t, item_count=100_000,
+    labels = [("threads", t, 0.99) for t in threads] + [
+        ("theta", 16, theta) for theta in thetas
+    ]
+    specs = [
+        PointSpec("run_hashtable", dict(
+            system="race", workload=UPDATE_ONLY, threads=t, item_count=100_000,
             warmup_ns=1.0e6, measure_ns=1.5e6,
-        )
-        rows.append(
-            ["threads", t, 0.99, result.throughput_mops,
-             (result.p50_latency_ns or 0) / 1e3, (result.p99_latency_ns or 0) / 1e3]
-        )
-    for theta in thetas:
-        result = run_hashtable(
-            "race", UPDATE_ONLY.with_theta(theta), threads=16,
+        ))
+        for t in threads
+    ] + [
+        PointSpec("run_hashtable", dict(
+            system="race", workload=UPDATE_ONLY.with_theta(theta), threads=16,
             item_count=100_000, warmup_ns=1.0e6, measure_ns=1.5e6,
-        )
-        rows.append(
-            ["theta", 16, theta, result.throughput_mops,
-             (result.p50_latency_ns or 0) / 1e3, (result.p99_latency_ns or 0) / 1e3]
-        )
+        ))
+        for theta in thetas
+    ]
+    rows = [
+        [sweep, t, theta, result.throughput_mops,
+         (result.p50_latency_ns or 0) / 1e3, (result.p99_latency_ns or 0) / 1e3]
+        for (sweep, t, theta), result in zip(labels, run_points(specs, jobs=jobs))
+    ]
     return ExperimentResult(
         name="Figure 5: RACE updates vs parallelism and Zipfian skew",
         headers=["sweep", "threads", "theta", "MOPS", "p50_us", "p99_us"],
@@ -187,6 +209,7 @@ def fig7_hashtable(
     threads: Optional[Sequence[int]] = None,
     compute_blades: Optional[Sequence[int]] = None,
     item_count: int = 50_000,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 7: RACE vs SMART-HT, scale-up (a-c) and scale-out (d-f)."""
     threads = threads or _grid((8, 96), (2, 8, 16, 32, 48, 64, 96))
@@ -194,27 +217,29 @@ def fig7_hashtable(
     workloads = _HT_WORKLOADS if full_grids() else (
         _HT_WORKLOADS[0], _HT_WORKLOADS[2],
     )
-    rows = []
+    scale_out_threads = 96 if full_grids() else 24
+    labels: List[List] = []
+    specs: List[PointSpec] = []
     for label, workload in workloads:
         for t in threads:
             for system in ("race", "smart-ht"):
-                result = run_hashtable(
-                    system, workload, threads=t, item_count=item_count,
-                    warmup_ns=1.0e6, measure_ns=1.5e6,
-                )
-                rows.append(["scale-up", label, system, t, 1, result.throughput_mops])
+                specs.append(PointSpec("run_hashtable", dict(
+                    system=system, workload=workload, threads=t,
+                    item_count=item_count, warmup_ns=1.0e6, measure_ns=1.5e6,
+                )))
+                labels.append(["scale-up", label, system, t, 1])
         for blades in compute_blades:
-            scale_out_threads = 96 if full_grids() else 24
             for system in ("race", "smart-ht"):
-                result = run_hashtable(
-                    system, workload, threads=scale_out_threads,
+                specs.append(PointSpec("run_hashtable", dict(
+                    system=system, workload=workload, threads=scale_out_threads,
                     compute_blades=blades, item_count=item_count,
                     warmup_ns=1.0e6, measure_ns=1.5e6,
-                )
-                rows.append(
-                    ["scale-out", label, system, scale_out_threads, blades,
-                     result.throughput_mops]
-                )
+                )))
+                labels.append(["scale-out", label, system, scale_out_threads, blades])
+    rows = [
+        label + [result.throughput_mops]
+        for label, result in zip(labels, run_points(specs, jobs=jobs))
+    ]
     return ExperimentResult(
         name="Figure 7: hash table throughput (MOPS), RACE vs SMART-HT",
         headers=["mode", "workload", "system", "threads", "blades", "MOPS"],
@@ -231,6 +256,7 @@ def fig7_hashtable(
 def fig8_breakdown(
     threads: Optional[Sequence[int]] = None,
     item_count: int = 50_000,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 8: cumulative technique ladder on the hash table."""
     threads = threads or _grid((8, 96), (8, 16, 32, 48, 64, 96))
@@ -239,15 +265,21 @@ def fig8_breakdown(
     workloads = _HT_WORKLOADS if full_grids() else (
         _HT_WORKLOADS[0], _HT_WORKLOADS[2],
     )
-    rows = []
+    labels = []
+    specs = []
     for label, workload in workloads:
         for t in threads:
             for name, features in cumulative_ladder():
-                result = run_hashtable(
-                    "smart-ht", workload, threads=t, item_count=item_count,
-                    features=features, warmup_ns=1.0e6, measure_ns=1.5e6,
-                )
-                rows.append([label, t, name, result.throughput_mops])
+                specs.append(PointSpec("run_hashtable", dict(
+                    system="smart-ht", workload=workload, threads=t,
+                    item_count=item_count, features=features,
+                    warmup_ns=1.0e6, measure_ns=1.5e6,
+                )))
+                labels.append([label, t, name])
+    rows = [
+        label + [result.throughput_mops]
+        for label, result in zip(labels, run_points(specs, jobs=jobs))
+    ]
     return ExperimentResult(
         name="Figure 8: hash table performance breakdown (MOPS)",
         headers=["workload", "threads", "config", "MOPS"],
@@ -264,23 +296,26 @@ def fig9_ht_latency(
     gaps_ns: Optional[Sequence[float]] = None,
     item_count: int = 50_000,
     threads: int = 96,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 9: throughput vs latency (read-only, 96 threads)."""
     gaps_ns = gaps_ns or _grid(
         (0.0, 20_000.0), (0.0, 2_000.0, 5_000.0, 10_000.0, 20_000.0, 40_000.0, 80_000.0)
     )
-    rows = []
-    for system in ("race", "smart-ht"):
-        for gap in gaps_ns:
-            result = run_hashtable(
-                system, READ_ONLY, threads=threads, item_count=item_count,
-                throttle_gap_ns=gap, warmup_ns=1.0e6, measure_ns=1.5e6,
-            )
-            rows.append(
-                [system, gap / 1e3, result.throughput_mops,
-                 (result.p50_latency_ns or 0) / 1e3,
-                 (result.p99_latency_ns or 0) / 1e3]
-            )
+    points = [(system, gap) for system in ("race", "smart-ht") for gap in gaps_ns]
+    specs = [
+        PointSpec("run_hashtable", dict(
+            system=system, workload=READ_ONLY, threads=threads,
+            item_count=item_count, throttle_gap_ns=gap,
+            warmup_ns=1.0e6, measure_ns=1.5e6,
+        ))
+        for system, gap in points
+    ]
+    rows = [
+        [system, gap / 1e3, result.throughput_mops,
+         (result.p50_latency_ns or 0) / 1e3, (result.p99_latency_ns or 0) / 1e3]
+        for (system, gap), result in zip(points, run_points(specs, jobs=jobs))
+    ]
     return ExperimentResult(
         name="Figure 9: hash table throughput vs latency (read-only, 96 threads)",
         headers=["system", "gap_us", "MOPS", "p50_us", "p99_us"],
@@ -298,18 +333,27 @@ def fig9_ht_latency(
 def fig10_dtx(
     threads: Optional[Sequence[int]] = None,
     item_count: int = 50_000,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 10: FORD+ vs SMART-DTX throughput (SmallBank, TATP)."""
     threads = threads or _grid((8, 24, 96), (8, 16, 24, 32, 40, 48, 64, 80, 96))
-    rows = []
-    for benchmark in ("smallbank", "tatp"):
-        for t in threads:
-            for system in ("ford", "smart-dtx"):
-                result = run_dtx(
-                    system, benchmark, threads=t, item_count=item_count,
-                    warmup_ns=1.0e6, measure_ns=1.5e6,
-                )
-                rows.append([benchmark, system, t, result.throughput_mops])
+    points = [
+        (benchmark, t, system)
+        for benchmark in ("smallbank", "tatp")
+        for t in threads
+        for system in ("ford", "smart-dtx")
+    ]
+    specs = [
+        PointSpec("run_dtx", dict(
+            system=system, benchmark=benchmark, threads=t, item_count=item_count,
+            warmup_ns=1.0e6, measure_ns=1.5e6,
+        ))
+        for benchmark, t, system in points
+    ]
+    rows = [
+        [benchmark, system, t, result.throughput_mops]
+        for (benchmark, t, system), result in zip(points, run_points(specs, jobs=jobs))
+    ]
     return ExperimentResult(
         name="Figure 10: committed txns (M/s), FORD+ vs SMART-DTX",
         headers=["benchmark", "system", "threads", "Mtxn/s"],
@@ -325,21 +369,29 @@ def fig11_dtx_latency(
     gaps_ns: Optional[Sequence[float]] = None,
     item_count: int = 50_000,
     threads: int = 96,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 11: throughput vs median latency, 96 threads x 8 coroutines."""
     gaps_ns = gaps_ns or _grid((0.0, 40_000.0), (0.0, 5_000.0, 20_000.0, 40_000.0, 80_000.0, 160_000.0))
-    rows = []
-    for benchmark in ("smallbank", "tatp"):
-        for system in ("ford", "smart-dtx"):
-            for gap in gaps_ns:
-                result = run_dtx(
-                    system, benchmark, threads=threads, item_count=item_count,
-                    throttle_gap_ns=gap, warmup_ns=1.0e6, measure_ns=1.5e6,
-                )
-                rows.append(
-                    [benchmark, system, gap / 1e3, result.throughput_mops,
-                     (result.p50_latency_ns or 0) / 1e3]
-                )
+    points = [
+        (benchmark, system, gap)
+        for benchmark in ("smallbank", "tatp")
+        for system in ("ford", "smart-dtx")
+        for gap in gaps_ns
+    ]
+    specs = [
+        PointSpec("run_dtx", dict(
+            system=system, benchmark=benchmark, threads=threads,
+            item_count=item_count, throttle_gap_ns=gap,
+            warmup_ns=1.0e6, measure_ns=1.5e6,
+        ))
+        for benchmark, system, gap in points
+    ]
+    rows = [
+        [benchmark, system, gap / 1e3, result.throughput_mops,
+         (result.p50_latency_ns or 0) / 1e3]
+        for (benchmark, system, gap), result in zip(points, run_points(specs, jobs=jobs))
+    ]
     return ExperimentResult(
         name="Figure 11: DTX throughput vs median latency (96 threads)",
         headers=["benchmark", "system", "gap_us", "Mtxn/s", "p50_us"],
@@ -358,6 +410,7 @@ def fig12_btree(
     threads: Optional[Sequence[int]] = None,
     servers: Optional[Sequence[int]] = None,
     item_count: int = 30_000,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 12: Sherman+ vs Sherman+ w/SL vs SMART-BT."""
     threads = threads or _grid((16, 94), (2, 8, 16, 32, 48, 64, 94))
@@ -366,25 +419,29 @@ def fig12_btree(
     workloads = _HT_WORKLOADS if full_grids() else (
         _HT_WORKLOADS[0], _HT_WORKLOADS[2],
     )
-    rows = []
+    so_threads = 94 if full_grids() else 32
+    labels = []
+    specs = []
     for label, workload in workloads:
         for t in threads:
             for system in systems:
-                result = run_btree(
-                    system, workload, threads=t, item_count=item_count,
-                    warmup_ns=1.0e6, measure_ns=1.5e6,
-                )
-                rows.append(["scale-up", label, system, t, 1, result.throughput_mops])
-        for n in servers:
-            so_threads = 94 if full_grids() else 32
-            for system in systems:
-                result = run_btree(
-                    system, workload, threads=so_threads, servers=n,
+                specs.append(PointSpec("run_btree", dict(
+                    system=system, workload=workload, threads=t,
                     item_count=item_count, warmup_ns=1.0e6, measure_ns=1.5e6,
-                )
-                rows.append(
-                    ["scale-out", label, system, so_threads, n, result.throughput_mops]
-                )
+                )))
+                labels.append(["scale-up", label, system, t, 1])
+        for n in servers:
+            for system in systems:
+                specs.append(PointSpec("run_btree", dict(
+                    system=system, workload=workload, threads=so_threads,
+                    servers=n, item_count=item_count,
+                    warmup_ns=1.0e6, measure_ns=1.5e6,
+                )))
+                labels.append(["scale-out", label, system, so_threads, n])
+    rows = [
+        label + [result.throughput_mops]
+        for label, result in zip(labels, run_points(specs, jobs=jobs))
+    ]
     return ExperimentResult(
         name="Figure 12: B+Tree throughput (MOPS)",
         headers=["mode", "workload", "system", "threads", "servers", "MOPS"],
@@ -404,26 +461,33 @@ def fig12_btree(
 def fig13_micro(
     threads: Optional[Sequence[int]] = None,
     batches: Optional[Sequence[int]] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 13: thread-aware allocation + throttling microbenchmarks."""
     threads = threads or _grid((16, 56, 96), (8, 16, 24, 32, 40, 56, 72, 96))
     batches = batches or _grid((4, 16, 64), (1, 2, 4, 8, 16, 32, 64))
     policies = ("per-thread-qp", "per-thread-context", "per-thread-db", "smart")
-    rows = []
-    for t in threads:
-        row: List = ["threads", t, 16]
-        for policy in policies:
-            result = run_microbench(policy=policy, threads=t, depth=16,
-                                    measure_ns=1.5e6)
-            row.append(result.throughput_mops)
-        rows.append(row)
-    for b in batches:
-        row = ["batch", 96, b]
-        for policy in policies:
-            result = run_microbench(policy=policy, threads=96, depth=b,
-                                    measure_ns=1.5e6)
-            row.append(result.throughput_mops)
-        rows.append(row)
+    labels = [["threads", t, 16] for t in threads] + [
+        ["batch", 96, b] for b in batches
+    ]
+    specs = [
+        PointSpec("run_microbench", dict(
+            policy=policy, threads=t, depth=16, measure_ns=1.5e6,
+        ))
+        for t in threads
+        for policy in policies
+    ] + [
+        PointSpec("run_microbench", dict(
+            policy=policy, threads=96, depth=b, measure_ns=1.5e6,
+        ))
+        for b in batches
+        for policy in policies
+    ]
+    results = iter(run_points(specs, jobs=jobs))
+    rows = [
+        label + [next(results).throughput_mops for _ in policies]
+        for label in labels
+    ]
     return ExperimentResult(
         name="Figure 13: QP allocation + throttling micro-bench (MOPS)",
         headers=["sweep", "threads", "batch"] + list(policies),
@@ -440,6 +504,7 @@ def fig13_micro(
 def table1_dynamic(
     intervals_ns: Optional[Sequence[float]] = None,
     total_ns: float = 24e6,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Table 1: throughput under a dynamically changing thread count.
 
@@ -464,15 +529,22 @@ def table1_dynamic(
     features_off = bench_features(
         baseline().with_overrides(thread_aware_alloc=True)
     )
-    rows = []
+    specs = []
     for interval in intervals_ns:
         run_total = max(total_ns, interval * 5)
-        off = run_dynamic_microbench(
-            interval, throttled=False, features=features_off, total_ns=run_total
-        )
-        on = run_dynamic_microbench(
-            interval, throttled=True, features=features_on, total_ns=run_total
-        )
+        specs.append(PointSpec("run_dynamic_microbench", dict(
+            changing_interval_ns=interval, throttled=False,
+            features=features_off, total_ns=run_total,
+        )))
+        specs.append(PointSpec("run_dynamic_microbench", dict(
+            changing_interval_ns=interval, throttled=True,
+            features=features_on, total_ns=run_total,
+        )))
+    results = iter(run_points(specs, jobs=jobs))
+    rows = []
+    for interval in intervals_ns:
+        off = next(results)
+        on = next(results)
         rows.append(
             [interval / 1e6, interval / epoch_ns, off.throughput_mops,
              on.throughput_mops]
@@ -492,6 +564,7 @@ def table1_dynamic(
 def fig14_conflict(
     threads: Optional[Sequence[int]] = None,
     item_count: int = 50_000,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 14: conflict-avoidance ladder on 100% updates, theta=0.99."""
     threads = threads or _grid((16, 96), (8, 16, 32, 48, 64, 96))
@@ -503,17 +576,22 @@ def fig14_conflict(
         ("+DynLimit", full().with_overrides(coroutine_throttling=False)),
         ("+CoroThrot", full()),
     ]
+    points = [(t, name) for t in threads for name, _ in ladder]
+    specs = [
+        PointSpec("run_hashtable", dict(
+            system="smart-ht", workload=UPDATE_ONLY, threads=t,
+            item_count=item_count, features=features,
+            warmup_ns=1.8e6, measure_ns=2.0e6,
+        ))
+        for t in threads
+        for _, features in ladder
+    ]
     rows = []
     distributions: Dict[str, Dict[int, float]] = {}
-    for t in threads:
-        for name, features in ladder:
-            result = run_hashtable(
-                "smart-ht", UPDATE_ONLY, threads=t, item_count=item_count,
-                features=features, warmup_ns=1.8e6, measure_ns=2.0e6,
-            )
-            rows.append([t, name, result.throughput_mops, result.avg_retries])
-            if t == max(threads):
-                distributions[name] = result.retry_distribution
+    for (t, name), result in zip(points, run_points(specs, jobs=jobs)):
+        rows.append([t, name, result.throughput_mops, result.avg_retries])
+        if t == max(threads):
+            distributions[name] = result.retry_distribution
     observations = []
     for name, dist in distributions.items():
         zero = dist.get(0, 0.0)

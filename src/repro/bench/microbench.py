@@ -264,12 +264,14 @@ def run_dynamic_microbench(
     active = [min(thread_range)]
     rng = random.Random(seed)
 
+    idle = sim.delay(changing_interval_ns / 8)
+
     def worker(index: int, smart: SmartThread, wrng: random.Random):
         handle = smart.handle()
         blade = remotes[0].storage
         while True:
             if index >= active[0]:
-                yield sim.timeout(changing_interval_ns / 8)
+                yield idle
                 continue
             for wr in _make_wrs("read", payload, depth, region.base, region.size,
                                 wrng, blade):

@@ -1,0 +1,118 @@
+"""Parallel sweep execution for the figure grids.
+
+Every paper figure is a grid of fully independent simulation points
+(one deterministic simulation per (experiment fn, kwargs, seed) tuple),
+so the grid parallelizes embarrassingly across a process pool.  This
+module provides the two pieces:
+
+* :class:`PointSpec` — a picklable description of one grid point: the
+  *name* of a registered experiment function, its keyword arguments and
+  an optional explicit seed.  Specs carry names rather than callables so
+  they cross process boundaries cheaply and reproducibly.
+* :func:`run_points` — executes a list of specs, serially (``jobs=1``)
+  or on a process pool (``jobs=N``), and returns results **in input
+  order**.  A point's result depends only on its spec (simulations are
+  seeded, self-contained and share no mutable state), so serial and
+  parallel execution produce identical results — asserted by
+  ``tests/test_parallel_exec.py``.
+
+The default job count comes from the ``REPRO_JOBS`` environment
+variable (``1`` — serial — when unset), which the bench CLI's
+``--jobs`` flag and the figure suite both honour.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from importlib import import_module
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+#: Experiment functions a :class:`PointSpec` may name, mapped to the
+#: module that defines them.  Names (not callables) keep specs picklable
+#: and make the executor surface auditable.
+_REGISTRY: Dict[str, str] = {
+    "run_microbench": "repro.bench.microbench",
+    "run_dynamic_microbench": "repro.bench.microbench",
+    "run_hashtable": "repro.bench.runner",
+    "run_dtx": "repro.bench.runner",
+    "run_btree": "repro.bench.runner",
+}
+
+
+def register_experiment(name: str, module: str) -> None:
+    """Expose another module-level experiment function to PointSpecs."""
+    _REGISTRY[name] = module
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (>= 1); 1 means serial."""
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise ValueError(f"REPRO_JOBS must be an integer, got {raw!r}")
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One independent simulation point of an experiment grid."""
+
+    fn: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: explicit per-point seed; ``None`` keeps the experiment's default
+    seed: Optional[int] = None
+
+    def resolve(self) -> Callable:
+        module = _REGISTRY.get(self.fn)
+        if module is None:
+            raise KeyError(
+                f"unknown experiment fn {self.fn!r}; "
+                f"choose from {sorted(_REGISTRY)} or register_experiment() it"
+            )
+        return getattr(import_module(module), self.fn)
+
+    def run(self) -> Any:
+        kwargs = dict(self.kwargs)
+        if self.seed is not None:
+            kwargs["seed"] = self.seed
+        return self.resolve()(**kwargs)
+
+
+def _run_spec(spec: PointSpec) -> Any:
+    """Module-level trampoline so specs survive pickling into workers."""
+    return spec.run()
+
+
+def run_points(
+    specs: Sequence[PointSpec],
+    jobs: Optional[int] = None,
+) -> List[Any]:
+    """Run every spec and return results in input order.
+
+    ``jobs=None`` falls back to :func:`default_jobs` (the ``REPRO_JOBS``
+    environment variable).  With ``jobs=1`` — or a single spec — points
+    run in-process; otherwise a process pool executes them with one
+    deterministic simulation per task, and ordered collection keeps the
+    output independent of worker scheduling.
+    """
+    specs = list(specs)
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs <= 1 or len(specs) <= 1:
+        return [spec.run() for spec in specs]
+
+    import concurrent.futures
+    import multiprocessing
+
+    # fork (where available) shares the already-imported simulator with
+    # the workers; spawn re-imports it and is used as the fallback.
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else None)
+    workers = min(jobs, len(specs))
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers, mp_context=context
+    ) as pool:
+        return list(pool.map(_run_spec, specs))

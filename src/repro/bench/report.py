@@ -1,7 +1,10 @@
-"""Plain-text table formatting for benchmark output."""
+"""Plain-text table formatting and machine-readable benchmark output."""
 
 from __future__ import annotations
 
+import json
+import re
+from pathlib import Path
 from typing import Iterable, List, Optional, Sequence
 
 
@@ -38,3 +41,34 @@ def format_table(
 def ratio(numerator: float, denominator: float) -> float:
     """Safe speedup ratio (0 when the denominator is 0)."""
     return numerator / denominator if denominator else 0.0
+
+
+def result_slug(name: str) -> str:
+    """Filesystem-safe slug for an experiment name."""
+    return re.sub(r"[^a-z0-9]+", "-", name.lower()).strip("-")[:60]
+
+
+def write_experiment_text(result, directory) -> Path:
+    """Write ``result.format()`` to ``<slug>.txt`` under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result_slug(result.name)}.txt"
+    path.write_text(result.format() + "\n")
+    return path
+
+
+def write_experiment_json(result, target) -> Path:
+    """Write an :class:`ExperimentResult` as JSON.
+
+    ``target`` may be a directory (the file becomes ``<slug>.json`` next
+    to the ``.txt`` table) or an explicit ``.json`` file path.
+    """
+    target = Path(target)
+    if target.suffix == ".json":
+        path = target
+        path.parent.mkdir(parents=True, exist_ok=True)
+    else:
+        target.mkdir(parents=True, exist_ok=True)
+        path = target / f"{result_slug(result.name)}.json"
+    path.write_text(json.dumps(result.to_dict(), indent=2) + "\n")
+    return path

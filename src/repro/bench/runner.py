@@ -209,6 +209,9 @@ def run_hashtable(
     meta = server.meta()
 
     sim = deployment.cluster.sim
+    # One reusable pure-delay object serves every coroutine's gap sleeps
+    # (the kernel's cheap Timeout alternative for fire-and-forget waits).
+    gap = sim.delay(throttle_gap_ns) if throttle_gap_ns > 0 else None
 
     def client_coroutine(smart: SmartThread, stream):
         client = HashTableClient(smart.handle(), meta)
@@ -219,8 +222,8 @@ def run_hashtable(
                 yield from client.update(key, value)
             elif op == INSERT:
                 yield from client.insert(key, value)
-            if throttle_gap_ns > 0:
-                yield sim.timeout(throttle_gap_ns)
+            if gap is not None:
+                yield gap
 
     stream_seed = random.Random(seed)
     for smart in deployment.smart_threads:
@@ -274,6 +277,7 @@ def run_dtx(
 
     sim = deployment.cluster.sim
     stream_seed = random.Random(seed)
+    gap = sim.delay(throttle_gap_ns) if throttle_gap_ns > 0 else None
 
     def client_coroutine(smart: SmartThread, seed_value: int):
         client = TxnClient(smart.handle(), server.alloc_log_ring())
@@ -286,8 +290,8 @@ def run_dtx(
                         txn, tables, p, a, m
                     )
                 )
-                if throttle_gap_ns > 0:
-                    yield sim.timeout(throttle_gap_ns)
+                if gap is not None:
+                    yield gap
         else:
             stream = tp.transaction_stream(item_count, seed_value)
             while True:
@@ -297,8 +301,8 @@ def run_dtx(
                         txn, tables, p, s, x
                     )
                 )
-                if throttle_gap_ns > 0:
-                    yield sim.timeout(throttle_gap_ns)
+                if gap is not None:
+                    yield gap
 
     for smart in deployment.smart_threads:
         for _ in range(coroutines):
@@ -375,6 +379,7 @@ def run_btree(
 
     sim = cluster.sim
     stream_seed = random.Random(seed)
+    gap = sim.delay(throttle_gap_ns) if throttle_gap_ns > 0 else None
 
     def client_coroutine(smart, index_cache, locks, spec, stream):
         client = BTreeClient(
@@ -388,8 +393,8 @@ def run_btree(
                 yield from client.update(key, value)
             elif op == INSERT:
                 yield from client.insert(key, value)
-            if throttle_gap_ns > 0:
-                yield sim.timeout(throttle_gap_ns)
+            if gap is not None:
+                yield gap
 
     for node_threads in clients_per_node:
         for smart, index_cache, locks, spec in node_threads:

@@ -39,9 +39,11 @@ class RequesterEngine:
         if device.tracer is not None:
             device.tracer.record(batch.batch_id, "posted", sim.now)
 
-        multiplier = device.wqe_cache.service_multiplier(outstanding)
-        multiplier *= device.mtt_cache.service_multiplier(context_count)
-        per_wr_ns = config.iops_service_ns * multiplier
+        # One memoized evaluation per cache model: service multiplier,
+        # miss rate and DMA cost all derive from the same miss curve.
+        wqe_miss, wqe_multiplier, wqe_dma_per_wr = device.wqe_cache.lookup(outstanding)
+        mtt_hit, mtt_multiplier = device.mtt_cache.lookup(context_count)
+        per_wr_ns = config.iops_service_ns * (wqe_multiplier * mtt_multiplier)
         bandwidth_ns = batch.wire_bytes / min(
             config.network_bytes_per_ns, config.pcie_bytes_per_ns
         )
@@ -53,18 +55,16 @@ class RequesterEngine:
         counters.requester_busy_ns += finish - start
         counters.wqe_processed += n
         counters.mtt_lookups += n
-        counters.wqe_cache_miss_wrs += n * device.wqe_cache.miss_rate(outstanding)
-        counters.mtt_miss_wrs += n * (1.0 - device.mtt_cache.hit_ratio(context_count))
-        dma_bytes = n * device.wqe_cache.dma_bytes_per_wr(outstanding)
+        counters.wqe_cache_miss_wrs += n * wqe_miss
+        counters.mtt_miss_wrs += n * (1.0 - mtt_hit)
         # WRITE payloads are DMA-read from host DRAM before transmission.
-        dma_bytes += sum(wr.size for wr in batch.wrs if wr.opcode == qpmod.WRITE)
-        counters.dram_bytes += dma_bytes
+        counters.dram_bytes += n * wqe_dma_per_wr + batch.write_bytes
 
         if device.tracer is not None:
             device.tracer.record(batch.batch_id, "issued", int(finish))
         transit = device.fabric.record(batch.wire_bytes)
         remote = batch.qp.remote_node.device
-        sim.call_at(finish + transit, lambda: remote.responder.handle(batch))
+        sim.call_at(finish + transit, remote.responder.handle, batch)
 
 
 class ResponderEngine:
@@ -104,7 +104,7 @@ class ResponderEngine:
         finish = start + max(n * per_wr_ns, bandwidth_ns) + nvm_penalty
         self.busy_until = finish
         device.counters.responder_busy_ns += finish - start
-        sim.call_at(finish, lambda: self._execute_and_reply(batch))
+        sim.call_at(finish, self._execute_and_reply, batch)
 
     def _execute_and_reply(self, batch: WorkBatch) -> None:
         device = self.device
@@ -123,7 +123,7 @@ class ResponderEngine:
         if origin.tracer is not None:
             origin.tracer.record(batch.batch_id, "executed", device.sim.now)
         transit = device.fabric.record(batch.wire_bytes)
-        device.sim.call_at(device.sim.now + transit, lambda: origin.complete(batch))
+        device.sim.call_at(device.sim.now + transit, origin.complete, batch)
 
     @staticmethod
     def _access_allowed(storage, wr) -> bool:

@@ -100,9 +100,24 @@ def faa_wr(remote_addr: int, delta: int, wr_id: Any = None) -> WorkRequest:
 
 
 class WorkBatch:
-    """A group of WRs posted by one ``post_send`` (one doorbell ring)."""
+    """A group of WRs posted by one ``post_send`` (one doorbell ring).
 
-    __slots__ = ("wrs", "qp", "done", "posted_at", "completed_at", "batch_id")
+    ``wire_bytes`` and ``write_bytes`` are hoisted out of the engines:
+    each is needed several times along a batch's lifecycle (requester
+    bandwidth ceiling, fabric transit, responder bandwidth ceiling), so
+    they are summed once at construction instead of per consumer.
+    """
+
+    __slots__ = (
+        "wrs",
+        "qp",
+        "done",
+        "posted_at",
+        "completed_at",
+        "batch_id",
+        "wire_bytes",
+        "write_bytes",
+    )
 
     _next_batch_id = 0
 
@@ -116,13 +131,19 @@ class WorkBatch:
         self.done: Event = sim.event()
         self.posted_at = sim.now
         self.completed_at: Optional[int] = None
+        wire = 0
+        write_payload = 0
+        for wr in wrs:
+            wire += wr.size + MESSAGE_OVERHEAD_BYTES
+            if wr.opcode == WRITE:
+                write_payload += wr.size
+        #: bytes moved on the wire in the batch's dominant direction
+        self.wire_bytes = wire
+        #: WRITE payload bytes (DMA-read from host DRAM before transmit)
+        self.write_bytes = write_payload
 
     def __len__(self) -> int:
         return len(self.wrs)
-
-    @property
-    def wire_bytes(self) -> int:
-        return sum(wr.wire_bytes for wr in self.wrs)
 
 
 class CompletionQueue:

@@ -8,11 +8,26 @@ scheduling order, so a fixed RNG seed reproduces a run exactly.
 from __future__ import annotations
 
 import heapq
+from functools import partial
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (bad yields, double fires, ...)."""
+
+
+#: Sentinel distinguishing "no value given" from an explicit ``None``.
+_NO_VALUE = object()
+
+
+def _invoke_noarg(callback: Callable[[], None]) -> None:
+    """Trampoline for zero-argument ``call_at`` callbacks.
+
+    Reusing this one module-level function keeps ``call_at`` free of
+    per-call closure allocations while the heap entry format stays a
+    uniform ``(when, seq, callback, value)``.
+    """
+    callback()
 
 
 class Interrupt(Exception):
@@ -76,6 +91,29 @@ class Timeout(Waitable):
         sim._schedule_at(sim.now + int(round(delay)), self._trigger, value)
 
 
+class Delay:
+    """A reusable pure-delay yield: the cheap cousin of :class:`Timeout`.
+
+    Yielding a ``Delay`` resumes the process ``ns`` nanoseconds later with
+    value ``None``.  Unlike a :class:`Timeout` it carries no subscriber
+    list and costs a single heap event instead of two (trigger + resume),
+    and — being stateless — one instance can be yielded any number of
+    times, by any number of processes.  This is the fast path for
+    throttle-gap style sleeps that fire millions of times per run.
+    """
+
+    __slots__ = ("ns",)
+
+    def __init__(self, ns: float):
+        ns = int(round(ns))
+        if ns < 0:
+            raise SimulationError(f"negative delay: {ns}")
+        self.ns = ns
+
+    def __repr__(self) -> str:
+        return f"Delay({self.ns})"
+
+
 class Event(Waitable):
     """A one-shot event fired explicitly via :meth:`fire`."""
 
@@ -132,7 +170,10 @@ class Process(Waitable):
         self._wait_on(target)
 
     def _wait_on(self, target: Any) -> None:
-        if isinstance(target, Waitable):
+        if type(target) is Delay:
+            sim = self._sim
+            sim._schedule_at(sim.now + target.ns, self._resume, None)
+        elif isinstance(target, Waitable):
             target._subscribe(self._resume)
         else:
             raise SimulationError(
@@ -142,6 +183,32 @@ class Process(Waitable):
     def _finish(self, value: Any) -> None:
         self._alive = False
         self._trigger(value)
+
+
+class _AllOfCollector:
+    """Gathers the values of an ``all_of`` join.
+
+    One shared instance replaces the per-waitable closure factory: each
+    input gets an index-carrying bound callback, and the event fires with
+    the value list itself once the last slot fills (no defensive copy —
+    every slot is final by then).
+    """
+
+    __slots__ = ("done", "values", "remaining")
+
+    def __init__(self, done: Event, count: int):
+        self.done = done
+        self.values: List[Any] = [None] * count
+        self.remaining = count
+
+    def callback(self, index: int) -> Callable[[Any], None]:
+        return partial(self._collect, index)
+
+    def _collect(self, index: int, value: Any) -> None:
+        self.values[index] = value
+        self.remaining -= 1
+        if self.remaining == 0:
+            self.done.fire(self.values)
 
 
 class Simulator:
@@ -161,6 +228,9 @@ class Simulator:
         self._heap: List = []
         self._seq = 0
         self.now = 0
+        #: total events executed by :meth:`step`/:meth:`run` (drives the
+        #: events/sec figure reported by the perf harness)
+        self.events_executed = 0
 
     # -- scheduling -------------------------------------------------------
 
@@ -170,18 +240,31 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._heap, (when, self._seq, callback, value))
 
-    def call_at(self, when: float, callback: Callable[[], None]) -> None:
-        """Run ``callback()`` at absolute time ``when``."""
-        self._schedule_at(int(round(when)), lambda _value: callback(), None)
+    def call_at(self, when: float, callback: Callable, value: Any = _NO_VALUE) -> None:
+        """Run ``callback()`` — or ``callback(value)`` if ``value`` is
+        given — at absolute time ``when``.
 
-    def call_after(self, delay: float, callback: Callable[[], None]) -> None:
-        """Run ``callback()`` after ``delay`` nanoseconds."""
-        self.call_at(self.now + delay, callback)
+        Passing the argument through ``value`` schedules the callback
+        directly, without the closure a ``lambda: callback(arg)`` wrapper
+        would allocate on every call.
+        """
+        if value is _NO_VALUE:
+            self._schedule_at(int(round(when)), _invoke_noarg, callback)
+        else:
+            self._schedule_at(int(round(when)), callback, value)
+
+    def call_after(self, delay: float, callback: Callable, value: Any = _NO_VALUE) -> None:
+        """Run ``callback()`` (or ``callback(value)``) after ``delay`` ns."""
+        self.call_at(self.now + delay, callback, value)
 
     # -- factories --------------------------------------------------------
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
+
+    def delay(self, ns: float) -> Delay:
+        """A reusable pure delay (see :class:`Delay`)."""
+        return Delay(ns)
 
     def event(self) -> Event:
         return Event(self)
@@ -190,26 +273,20 @@ class Simulator:
         return Process(self, generator, name)
 
     def all_of(self, waitables: Iterable[Waitable]) -> Event:
-        """An event that fires (with a list of values) once all inputs have."""
+        """An event that fires (with a list of values) once all inputs have.
+
+        Inputs that already triggered are fine: their (deferred) delivery
+        is counted like any other, so the result preserves input order
+        regardless of completion order.
+        """
         waitables = list(waitables)
         done = self.event()
-        remaining = [len(waitables)]
-        values: List[Any] = [None] * len(waitables)
         if not waitables:
             done.fire([])
             return done
-
-        def make_callback(index: int) -> Callable[[Any], None]:
-            def callback(value: Any) -> None:
-                values[index] = value
-                remaining[0] -= 1
-                if remaining[0] == 0:
-                    done.fire(list(values))
-
-            return callback
-
+        collector = _AllOfCollector(done, len(waitables))
         for index, waitable in enumerate(waitables):
-            waitable._subscribe(make_callback(index))
+            waitable._subscribe(collector.callback(index))
         return done
 
     # -- execution --------------------------------------------------------
@@ -220,23 +297,39 @@ class Simulator:
             return False
         when, _seq, callback, value = heapq.heappop(self._heap)
         self.now = when
+        self.events_executed += 1
         callback(value)
         return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the heap drains, ``until`` is reached, or event budget ends."""
+        heap = self._heap
+        pop = heapq.heappop
         events = 0
-        while self._heap:
-            when = self._heap[0][0]
-            if until is not None and when > until:
-                self.now = int(round(until))
-                return
-            self.step()
-            events += 1
-            if max_events is not None and events >= max_events:
-                return
-        if until is not None and until > self.now:
-            self.now = int(round(until))
+        try:
+            if until is None:
+                while heap:
+                    when, _seq, callback, value = pop(heap)
+                    self.now = when
+                    events += 1
+                    callback(value)
+                    if max_events is not None and events >= max_events:
+                        return
+            else:
+                while heap:
+                    if heap[0][0] > until:
+                        self.now = int(round(until))
+                        return
+                    when, _seq, callback, value = pop(heap)
+                    self.now = when
+                    events += 1
+                    callback(value)
+                    if max_events is not None and events >= max_events:
+                        return
+                if until > self.now:
+                    self.now = int(round(until))
+        finally:
+            self.events_executed += events
 
     def peek(self) -> Optional[int]:
         """Time of the next scheduled event, or None if idle."""

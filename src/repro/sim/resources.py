@@ -65,7 +65,7 @@ class FifoLock:
             self.total_wait_ns += self._sim.now - enqueued_at
             delay = self._handoff_delay_ns()
             if delay > 0:
-                self._sim.call_after(delay, lambda t=ticket: t.fire(self))
+                self._sim.call_after(delay, ticket.fire, self)
             else:
                 ticket.fire(self)
         else:

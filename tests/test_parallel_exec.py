@@ -1,0 +1,107 @@
+"""The parallel sweep executor (repro.bench.parallel).
+
+The load-bearing property is equivalence: a grid of seeded simulation
+points must produce *identical* results whether it runs serially in
+this process or fanned out over a process pool.  The figure suite leans
+on this to parallelize with ``--jobs``/``REPRO_JOBS`` without changing
+a single reported number.
+"""
+
+import pickle
+
+import pytest
+
+from repro.bench.parallel import PointSpec, default_jobs, run_points
+
+#: A small Fig-7-style grid: hash-table points across systems/threads,
+#: sized to keep the pooled run affordable in CI.
+_FIG7_GRID = [
+    PointSpec("run_hashtable", dict(
+        system=system, threads=threads, item_count=4_000,
+        warmup_ns=0.2e6, measure_ns=0.4e6,
+    ), seed=seed)
+    for system, threads, seed in [
+        ("race", 2, 0),
+        ("smart-ht", 2, 0),
+        ("smart-ht", 4, 7),
+    ]
+]
+
+
+class TestPointSpec:
+    def test_resolves_registered_fn(self):
+        from repro.bench.microbench import run_microbench
+
+        spec = PointSpec("run_microbench", dict(threads=2))
+        assert spec.resolve() is run_microbench
+
+    def test_unknown_fn_rejected(self):
+        with pytest.raises(KeyError, match="unknown experiment fn"):
+            PointSpec("not_a_bench", {}).resolve()
+
+    def test_picklable(self):
+        spec = _FIG7_GRID[0]
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+
+    def test_seed_overrides_kwargs(self):
+        spec = PointSpec("run_microbench", dict(
+            policy="per-thread-db", threads=4, depth=2,
+            warmup_ns=0.1e6, measure_ns=0.2e6, seed=1,
+        ), seed=9)
+        explicit = PointSpec("run_microbench", dict(
+            policy="per-thread-db", threads=4, depth=2,
+            warmup_ns=0.1e6, measure_ns=0.2e6, seed=9,
+        ))
+        assert spec.run().throughput_mops == explicit.run().throughput_mops
+
+
+class TestRunPoints:
+    def test_empty(self):
+        assert run_points([], jobs=4) == []
+
+    def test_serial_matches_direct_calls(self):
+        from repro.bench.runner import run_hashtable
+
+        direct = [
+            run_hashtable(**{**spec.kwargs, "seed": spec.seed})
+            for spec in _FIG7_GRID
+        ]
+        pooled = run_points(_FIG7_GRID, jobs=1)
+        assert [r.__dict__ for r in pooled] == [r.__dict__ for r in direct]
+
+    def test_default_jobs_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        assert default_jobs() == 6
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError):
+            default_jobs()
+
+
+class TestSerialParallelEquivalence:
+    """Same seeds => identical RunResult fields, serial vs process pool."""
+
+    def test_fig7_grid_equivalent(self):
+        serial = run_points(_FIG7_GRID, jobs=1)
+        parallel = run_points(_FIG7_GRID, jobs=2)
+        assert len(serial) == len(parallel) == len(_FIG7_GRID)
+        for spec, a, b in zip(_FIG7_GRID, serial, parallel):
+            assert a.__dict__ == b.__dict__, spec
+
+    def test_microbench_points_equivalent(self):
+        grid = [
+            PointSpec("run_microbench", dict(
+                policy=policy, threads=4, depth=4,
+                warmup_ns=0.1e6, measure_ns=0.3e6,
+            ), seed=seed)
+            for policy in ("per-thread-qp", "per-thread-db")
+            for seed in (1, 2)
+        ]
+        serial = run_points(grid, jobs=1)
+        parallel = run_points(grid, jobs=2)
+        for a, b in zip(serial, parallel):
+            assert a.__dict__ == b.__dict__

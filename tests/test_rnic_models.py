@@ -87,6 +87,43 @@ class TestMttCache:
             MttCacheModel(connectx6()).hit_ratio(0)
 
 
+class TestCacheModelMemoization:
+    """The engine-facing ``lookup`` memo must be invisible in the values."""
+
+    def test_wqe_lookup_matches_fresh_model(self):
+        memoized = WqeCacheModel(connectx6())
+        for outstanding in (0, 1, 768, 896, 897, 1152, 3072, 50_000):
+            memoized.lookup(outstanding)  # populate
+            fresh = WqeCacheModel(connectx6())
+            assert memoized.lookup(outstanding) == (
+                fresh.miss_rate(outstanding),
+                fresh.service_multiplier(outstanding),
+                fresh.dma_bytes_per_wr(outstanding),
+            )
+
+    def test_mtt_lookup_matches_fresh_model(self):
+        memoized = MttCacheModel(connectx6())
+        for contexts in (1, 2, 16, 96, 400):
+            memoized.lookup(contexts)
+            fresh = MttCacheModel(connectx6())
+            assert memoized.lookup(contexts) == (
+                fresh.hit_ratio(contexts),
+                fresh.service_multiplier(contexts),
+            )
+
+    def test_lookup_is_cached(self):
+        model = WqeCacheModel(connectx6())
+        first = model.lookup(1152)
+        assert model.lookup(1152) is first
+        assert 1152 in model._memo
+
+    def test_error_not_cached(self):
+        model = MttCacheModel(connectx6())
+        with pytest.raises(ValueError):
+            model.lookup(0)
+        assert 0 not in model._memo
+
+
 class TestDoorbellAllocator:
     def _alloc(self, total=16):
         return DoorbellAllocator(Simulator(), connectx6(), total)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Event, Interrupt, Simulator
+from repro.sim import Delay, Event, Interrupt, Simulator
 from repro.sim.core import SimulationError
 
 
@@ -225,3 +225,121 @@ def test_peek_and_step():
     assert sim.step()
     assert sim.now == 9
     assert not sim.step()
+
+
+def test_call_at_with_value_avoids_wrapper():
+    sim = Simulator()
+    log = []
+    sim.call_at(3, log.append, "x")
+    sim.call_after(5, log.append, "y")
+    sim.call_at(4, lambda: log.append("noarg"))
+    sim.run()
+    assert log == ["x", "noarg", "y"]
+
+
+def test_call_at_explicit_none_value():
+    sim = Simulator()
+    log = []
+    sim.call_at(1, log.append, None)
+    sim.run()
+    assert log == [None]
+
+
+def test_delay_resumes_at_right_time():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        value = yield sim.delay(10)
+        log.append((sim.now, value))
+        yield sim.delay(0)
+        log.append((sim.now, "zero"))
+
+    sim.spawn(proc())
+    sim.run()
+    assert log == [(10, None), (10, "zero")]
+
+
+def test_delay_is_reusable_across_processes_and_iterations():
+    sim = Simulator()
+    shared = sim.delay(4)
+    log = []
+
+    def proc(tag):
+        for _ in range(3):
+            yield shared
+        log.append((tag, sim.now))
+
+    sim.spawn(proc("a"))
+    sim.spawn(proc("b"))
+    sim.run()
+    assert log == [("a", 12), ("b", 12)]
+
+
+def test_delay_rounds_and_rejects_negative():
+    assert Delay(2.6).ns == 3
+    with pytest.raises(SimulationError):
+        Delay(-1)
+
+
+def test_delay_cheaper_than_timeout():
+    """A pure delay costs one heap event; a Timeout costs two."""
+
+    def sleeper(sim, waiter):
+        yield waiter
+
+    sim_t = Simulator()
+    sim_t.spawn(sleeper(sim_t, sim_t.timeout(5)))
+    sim_t.run()
+    sim_d = Simulator()
+    sim_d.spawn(sleeper(sim_d, sim_d.delay(5)))
+    sim_d.run()
+    assert sim_d.events_executed == sim_t.events_executed - 1
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for when in (1, 2, 3):
+        sim.call_at(when, lambda: None)
+    sim.run()
+    assert sim.events_executed == 3
+    sim.call_at(sim.now + 1, lambda: None)
+    assert sim.step()
+    assert sim.events_executed == 4
+
+
+def test_all_of_with_already_triggered_inputs():
+    """Regression: inputs that fired before the join must still be
+    collected (in input order) instead of being dropped or double-fired."""
+    sim = Simulator()
+    first = sim.event()
+    first.fire("early")
+
+    def child():
+        yield sim.timeout(6)
+        return "late"
+
+    def parent():
+        values = yield sim.all_of([first, sim.spawn(child())])
+        return (values, sim.now)
+
+    p = sim.spawn(parent())
+    sim.run()
+    assert p.value == (["early", "late"], 6)
+
+
+def test_all_of_all_already_triggered():
+    sim = Simulator()
+    events = []
+    for index in range(3):
+        event = sim.event()
+        event.fire(index)
+        events.append(event)
+
+    def parent():
+        values = yield sim.all_of(events)
+        return values
+
+    p = sim.spawn(parent())
+    sim.run()
+    assert p.value == [0, 1, 2]
