@@ -34,6 +34,18 @@ class RecoveryManager:
         self.rolled_back = 0
         self.already_committed = 0
 
+    def recover_all(self, rings) -> int:
+        """Scan every ``(log_addr, log_size)`` ring; returns total records
+        rolled back.  This is the entry point a fault injector wires to
+        blade restart: after a crash, every client's ring is scanned and
+        in-doubt records (still locked by a dead/interrupted transaction)
+        are rolled back before traffic resumes.
+        """
+        rolled = 0
+        for log_addr, log_size in rings:
+            rolled += self.recover_log_ring(log_addr, log_size)
+        return rolled
+
     def recover_log_ring(self, log_addr: int, log_size: int) -> int:
         """Scan one dead client's ring; returns records rolled back."""
         storage = self._storage[blade_of(log_addr)]

@@ -7,6 +7,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.apps.ford.server import RECORD_HEADER_BYTES, TableInfo
 from repro.core.api import SmartHandle
+from repro.rnic.qp import WorkRequest
 
 _U64 = struct.Struct("<Q")
 
@@ -50,6 +51,21 @@ class Aborted(Exception):
         super().__init__(reason)
         self.reason = reason
         self.retry = retry
+
+
+class FaultAbort(Exception):
+    """A pipeline stage completed with fault CQEs (blade crash, retry
+    exhaustion, flushed QP).
+
+    Unlike :class:`Aborted` this is infrastructure, not concurrency: the
+    attempt is wasted, the connections to ``fault_nodes`` must be
+    re-established and any locks the attempt still holds on *surviving*
+    blades must be CAS-released before OCC can retry.
+    """
+
+    def __init__(self, fault_nodes):
+        super().__init__(f"fault completions from nodes {sorted(fault_nodes)}")
+        self.fault_nodes = frozenset(fault_nodes)
 
 
 class _Entry:
@@ -115,8 +131,17 @@ class Transaction:
         data = yield from handle.read_sync(
             table.primary_addr(key), table.record_bytes
         )
+        self._check_faults(handle.last_errors)
         version = _U64.unpack_from(data, 8)[0]
         return _Entry(table, key, version, data[RECORD_HEADER_BYTES:])
+
+    @staticmethod
+    def _check_faults(failed_batches) -> None:
+        """Escalate error completions to a :class:`FaultAbort`."""
+        if failed_batches:
+            raise FaultAbort(
+                {batch.qp.remote_node.node_id for batch in failed_batches}
+            )
 
     # -- commit pipeline ------------------------------------------------------
 
@@ -145,10 +170,13 @@ class Transaction:
             addr = entry.table.primary_addr(entry.key)
             lock_wrs.append((entry, handle.cas(addr, 0, self.txn_id)))
         yield from handle.post_send()
-        yield from handle.sync()
-        failed = [e for e, wr in lock_wrs if wr.result != 0]
+        fault_batches = yield from handle.sync()
+        # Record which locks actually landed before escalating any fault:
+        # the recovery path releases exactly the locks this attempt holds.
         for entry, wr in lock_wrs:
-            entry.locked = wr.result == 0
+            entry.locked = wr.status == WorkRequest.STATUS_OK and wr.result == 0
+        self._check_faults(fault_batches)
+        failed = [e for e, wr in lock_wrs if wr.result != 0]
         if failed:
             yield from self._release_locks()
             handle.note_retry()
@@ -169,7 +197,8 @@ class Transaction:
             validate_wrs.append((entry, handle.read(addr, 8)))
         if validate_wrs:
             yield from handle.post_send()
-            yield from handle.sync()
+            fault_batches = yield from handle.sync()
+            self._check_faults(fault_batches)
             for entry, wr in validate_wrs:
                 if _U64.unpack(wr.result)[0] != entry.version:
                     yield from self._release_locks()
@@ -188,7 +217,8 @@ class Transaction:
                 ),
             )
         yield from handle.post_send()
-        yield from handle.sync()
+        fault_batches = yield from handle.sync()
+        self._check_faults(fault_batches)
         if crash_point == self.CRASH_AFTER_LOG:
             return "crashed"
 
@@ -200,7 +230,8 @@ class Transaction:
             for addr in entry.table.replica_addrs(entry.key):
                 handle.write(addr, record)
         yield from handle.post_send()
-        yield from handle.sync()
+        fault_batches = yield from handle.sync()
+        self._check_faults(fault_batches)
         self.committed = True
         return True
 
@@ -233,6 +264,8 @@ class TxnClient:
         self._txn_seq = 0
         self.commits = 0
         self.aborts = 0
+        #: attempts thrown away because a stage completed with fault CQEs
+        self.fault_aborts = 0
 
     def begin(self) -> Transaction:
         self._txn_seq += 1
@@ -260,6 +293,14 @@ class TxnClient:
             txn = self.begin()
             try:
                 result = yield from body(txn)
+                ok = yield from txn.commit()
+            except FaultAbort as fault:
+                self.aborts += 1
+                self.fault_aborts += 1
+                handle.note_retry()
+                yield from self._recover_from_fault(txn, fault)
+                yield from handle.backoff_delay()
+                continue
             except Aborted as abort:
                 yield from txn._release_locks()
                 if not abort.retry:
@@ -269,7 +310,6 @@ class TxnClient:
                 yield from handle.backoff_delay()
                 self.aborts += 1
                 continue
-            ok = yield from txn.commit()
             if ok:
                 self.commits += 1
                 handle.end_op()
@@ -278,3 +318,40 @@ class TxnClient:
             yield from handle.backoff_delay()
         handle.end_op(failed=True)
         raise RuntimeError("transaction retried too many times")
+
+    def _recover_from_fault(self, txn: Transaction, fault: FaultAbort):
+        """Repair the client after a :class:`FaultAbort`.
+
+        Reconnects the failed QPs (jittered probing until the blade
+        answers), then CAS-releases the locks the dead attempt still
+        holds (``txn_id -> 0`` can never release another transaction's
+        lock; locks on blades that lost the race to a second crash are
+        swept by :mod:`repro.apps.ford.recovery` at restart instead).
+        """
+        handle = self.handle
+        handle.note_fault_abort()
+        pending_nodes = set(fault.fault_nodes)
+        stuck = [e for e in txn._write_set.values() if e.locked]
+        for entry in stuck:
+            entry.locked = False
+        for _round in range(3):
+            for node_id in sorted(pending_nodes):
+                recovered = yield from handle.reconnect(node_id)
+                if not recovered:
+                    raise RuntimeError(
+                        f"client {self.client_id}: node {node_id} still down "
+                        "after the reconnect budget"
+                    )
+            pending_nodes.clear()
+            if not stuck:
+                return
+            # CAS is idempotent under replay: once released (or rolled
+            # back by the recovery manager) the compare fails harmlessly.
+            for entry in stuck:
+                handle.cas(entry.table.primary_addr(entry.key), txn.txn_id, 0)
+            yield from handle.post_send()
+            failed = yield from handle.sync()
+            if not failed:
+                return
+            pending_nodes = {b.qp.remote_node.node_id for b in failed}
+        # Out of rounds: leave the remainder to crash recovery.

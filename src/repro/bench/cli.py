@@ -50,6 +50,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--measure-us", type=float, default=1500.0,
                         help="measured window, simulated microseconds")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="fault schedule: 'seeded' or clause list, e.g. "
+                             "'loss=0.02@0.5ms+1ms,crash=1@0.8ms+0.4ms' "
+                             "(kind=value@start+duration[:node])")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for the fault schedule / per-message draws "
+                             "(same seed replays a faulty run bit-identically)")
     parser.add_argument("--dump-file-path", default=None,
                         help="append a CSV result line to this file")
     parser.add_argument("--figure", default=None, metavar="NAME",
@@ -101,6 +108,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         memory_nodes=args.memory_nodes,
         measure_ns=args.measure_us * 1e3,
         seed=args.seed,
+        faults=args.faults,
+        fault_seed=args.fault_seed,
     )
     bandwidth_mbps = result.throughput_mops * args.block_size
     wall_ms = (time.time() - started) * 1e3
@@ -110,6 +119,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"IOPS={result.throughput_mops:.3f} M/s, "
         f"sim wall time={wall_ms:.3f} ms"
     )
+    if args.faults:
+        print(
+            f"faults: dropped={result.messages_dropped}, "
+            f"retransmits={result.retransmissions}, "
+            f"wasted_wrs={result.wasted_wrs}"
+        )
     if args.dump_file_path:
         with open(args.dump_file_path, "a") as dump:
             dump.write(

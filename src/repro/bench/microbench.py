@@ -56,6 +56,10 @@ class MicrobenchResult:
     batch_latency_p99_ns: Optional[float] = None
     doorbells_used: int = 0
     measured_wrs: int = 0
+    # Fault-injection observability (zero for fault-free runs).
+    retransmissions: int = 0
+    messages_dropped: int = 0
+    wasted_wrs: int = 0
 
     def __str__(self) -> str:
         return (
@@ -109,8 +113,16 @@ def run_microbench(
     multiplex_q: int = 8,
     seed: int = 1,
     latency_samples: bool = False,
+    faults=None,
+    fault_seed: int = 0,
 ) -> MicrobenchResult:
-    """Run the bench tool at one (policy, threads, depth) point."""
+    """Run the bench tool at one (policy, threads, depth) point.
+
+    ``faults`` arms a fault schedule (spec string, ``"seeded"`` or a
+    :class:`repro.faults.FaultSchedule`); loss shows up as transparent
+    RC retransmissions, crashes as flushed/error completions until the
+    blade restarts and the injector resets the errored QPs.
+    """
     if policy == "smart" and features is None:
         # Scale the paper's Δ = 8 ms epoch down so the C_max search
         # converges inside a short simulation (ratios preserved).
@@ -131,6 +143,15 @@ def run_microbench(
     remotes = cluster.add_nodes(memory_nodes)
     regions = [r.storage.alloc_region("bench", min(DEFAULT_REGION_BYTES,
                r.storage.capacity - 4096)) for r in remotes]
+
+    if faults is not None:
+        from repro.faults import FaultInjector, FaultSchedule
+
+        schedule = FaultSchedule.from_spec(
+            faults, seed=fault_seed, window_start_ns=warmup_ns,
+            window_ns=measure_ns, crash_nodes=[r.node_id for r in remotes],
+        )
+        FaultInjector(cluster, schedule).install()
 
     smart_threads: List[SmartThread] = []
     doorbells_used = 0
@@ -205,6 +226,9 @@ def run_microbench(
         dram_bytes_per_wr=window.dram_bytes_per_wr,
         doorbells_used=doorbells_used,
         measured_wrs=window.cqe_delivered,
+        retransmissions=compute.device.counters.retransmissions,
+        messages_dropped=cluster.fabric.messages_dropped,
+        wasted_wrs=compute.device.counters.wasted_wrs,
     )
     if latencies:
         ordered = sorted(latencies)

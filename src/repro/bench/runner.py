@@ -64,6 +64,19 @@ class RunResult:
     retry_distribution: Dict[int, float]
     ops: int
     measure_ns: float
+    # Fault-injection observability (all stay zero for fault-free runs).
+    fault_aborts: int = 0
+    recoveries: int = 0
+    failed_recoveries: int = 0
+    avg_recovery_us: float = 0.0
+    retransmissions: int = 0
+    error_completions: int = 0
+    flushed_wrs: int = 0
+    wasted_wrs: int = 0
+    messages_dropped: int = 0
+    crashes: int = 0
+    #: in-doubt records rolled back by FORD's recovery manager
+    rolled_back: int = 0
 
     @property
     def total_threads(self) -> int:
@@ -105,16 +118,81 @@ def build_deployment(
     return Deployment(cluster, compute_nodes, memory_nodes, smart_threads, features)
 
 
+def install_faults(
+    deployment: Deployment,
+    faults,
+    fault_seed: int,
+    warmup_ns: float,
+    measure_ns: float,
+):
+    """Arm a fault schedule on a freshly built deployment.
+
+    ``faults`` is ``None`` (no-op, the run is bit-identical to a build
+    without fault injection), a :class:`repro.faults.FaultSchedule`, the
+    literal ``"seeded"``, or a clause spec string (see
+    :meth:`repro.faults.FaultSchedule.parse`).  Seeded schedules target
+    the measurement window and crash only memory blades.
+    """
+    if faults is None:
+        return None
+    from repro.faults import FaultInjector, FaultSchedule
+
+    schedule = FaultSchedule.from_spec(
+        faults,
+        seed=fault_seed,
+        window_start_ns=effective_warmup_ns(deployment.features, warmup_ns),
+        window_ns=measure_ns,
+        crash_nodes=[n.node_id for n in deployment.memory_nodes],
+    )
+    return FaultInjector(deployment.cluster, schedule).install()
+
+
+def apply_fault_stats(
+    result: RunResult,
+    stats: OperationStats,
+    deployment: Deployment,
+    injector=None,
+    recovery=None,
+) -> RunResult:
+    """Fill a result's fault/recovery columns from the run's artifacts."""
+    result.fault_aborts = stats.fault_aborts
+    result.recoveries = stats.recoveries
+    result.failed_recoveries = stats.failed_recoveries
+    result.avg_recovery_us = stats.avg_recovery_ns / 1e3
+    result.messages_dropped = deployment.cluster.fabric.messages_dropped
+    for node in deployment.cluster.nodes:
+        counters = node.device.counters
+        result.retransmissions += counters.retransmissions
+        result.error_completions += counters.error_completions
+        result.flushed_wrs += counters.flushed_wrs
+        result.wasted_wrs += counters.wasted_wrs
+    if injector is not None:
+        result.crashes = injector.crashes_fired
+    if recovery is not None:
+        result.rolled_back = recovery.rolled_back
+    return result
+
+
+def effective_warmup_ns(features: SmartFeatures, warmup_ns: float) -> float:
+    """The warmup :func:`measure` will actually use.
+
+    Adaptive-credit systems extend warmup to cover the C_max search
+    phase; fault schedules anchored to the measurement window must use
+    the same boundary (stats are reset at its end).
+    """
+    if features.work_req_throttling and features.adaptive_credit:
+        update_phase = len(features.cmax_candidates) * features.update_delta_ns
+        warmup_ns = max(warmup_ns, update_phase + 0.5e6)
+    return warmup_ns
+
+
 def measure(
     deployment: Deployment,
     warmup_ns: float,
     measure_ns: float,
 ) -> OperationStats:
     """Run warmup, reset stats, run the measured window, merge stats."""
-    features = deployment.features
-    if features.work_req_throttling and features.adaptive_credit:
-        update_phase = len(features.cmax_candidates) * features.update_delta_ns
-        warmup_ns = max(warmup_ns, update_phase + 0.5e6)
+    warmup_ns = effective_warmup_ns(deployment.features, warmup_ns)
     sim = deployment.cluster.sim
     sim.run(until=warmup_ns)
     for smart in deployment.smart_threads:
@@ -165,11 +243,16 @@ def run_hashtable(
     measure_ns: float = 2.0e6,
     seed: int = 0,
     throttle_gap_ns: float = 0.0,
+    faults=None,
+    fault_seed: int = 0,
 ) -> RunResult:
     """One point of the hash-table experiments.
 
     ``throttle_gap_ns`` inserts idle time between ops (used by the
     Fig-9 throughput/latency curve to sweep offered load).
+    ``faults`` arms a fault schedule (loss/dup/delay windows; the RACE
+    client has no crash-recovery path, so crash faults belong to the DTX
+    runner where FORD's recovery handles them).
     """
     from repro.workloads.ycsb import WRITE_HEAVY
 
@@ -208,6 +291,7 @@ def run_hashtable(
         raise MemoryError("could not load the table even after resizing")
     meta = server.meta()
 
+    injector = install_faults(deployment, faults, fault_seed, warmup_ns, measure_ns)
     sim = deployment.cluster.sim
     # One reusable pure-delay object serves every coroutine's gap sleeps
     # (the kernel's cheap Timeout alternative for fire-and-forget waits).
@@ -232,9 +316,10 @@ def run_hashtable(
             sim.spawn(client_coroutine(smart, stream))
 
     stats = measure(deployment, warmup_ns, measure_ns)
-    return result_from_stats(
+    result = result_from_stats(
         stats, system, workload.name, threads, coroutines, compute_blades, measure_ns
     )
+    return apply_fault_stats(result, stats, deployment, injector)
 
 
 # -- distributed transaction experiments (Figures 10, 11) ---------------------
@@ -254,9 +339,16 @@ def run_dtx(
     measure_ns: float = 2.0e6,
     seed: int = 0,
     throttle_gap_ns: float = 0.0,
+    faults=None,
+    fault_seed: int = 0,
 ) -> RunResult:
     """One point of the FORD / SMART-DTX experiments (throughput in
-    committed M txn/s)."""
+    committed M txn/s).
+
+    ``faults`` arms a fault schedule (see :func:`install_faults`); blade
+    restarts then run FORD's recovery manager over every client's NVM
+    log ring, rolling back in-doubt records before traffic resumes.
+    """
     from repro.apps.ford.server import DtxServer
     from repro.apps.ford.txn import TxnClient
     from repro.workloads import smallbank as sb
@@ -275,12 +367,23 @@ def run_dtx(
     else:
         raise ValueError(f"benchmark must be smallbank or tatp, got {benchmark!r}")
 
+    injector = install_faults(deployment, faults, fault_seed, warmup_ns, measure_ns)
+    recovery = None
+    log_rings: List = []
+    if injector is not None:
+        from repro.apps.ford.recovery import RecoveryManager
+
+        recovery = RecoveryManager(server)
+        injector.wire_ford_recovery(recovery, log_rings)
+
     sim = deployment.cluster.sim
     stream_seed = random.Random(seed)
     gap = sim.delay(throttle_gap_ns) if throttle_gap_ns > 0 else None
 
     def client_coroutine(smart: SmartThread, seed_value: int):
-        client = TxnClient(smart.handle(), server.alloc_log_ring())
+        ring = server.alloc_log_ring()
+        log_rings.append(ring)
+        client = TxnClient(smart.handle(), ring)
         if benchmark == "smallbank":
             stream = sb.transaction_stream(item_count, seed_value)
             while True:
@@ -309,9 +412,10 @@ def run_dtx(
             sim.spawn(client_coroutine(smart, stream_seed.getrandbits(31)))
 
     stats = measure(deployment, warmup_ns, measure_ns)
-    return result_from_stats(
+    result = result_from_stats(
         stats, system, benchmark, threads, coroutines, compute_blades, measure_ns
     )
+    return apply_fault_stats(result, stats, deployment, injector, recovery)
 
 
 # -- B+Tree experiments (Figure 12) --------------------------------------------

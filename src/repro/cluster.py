@@ -72,9 +72,41 @@ class Node:
         self.node_id = node_id
         self.storage = MemoryBlade(node_id, config.blade_capacity_bytes)
         self.device = RnicDevice(
-            sim, config, fabric, name=f"rnic{node_id}", storage=self.storage
+            sim, config, fabric, name=f"rnic{node_id}", storage=self.storage,
+            node_id=node_id,
         )
         self.threads: List[ComputeThread] = []
+
+    @property
+    def online(self) -> bool:
+        return self.device.online
+
+    def crash(self, restart_after_ns: Optional[float] = None) -> None:
+        """Power-fail this blade.
+
+        The RNIC goes offline (in-flight and future one-sided ops to it
+        complete with error at their requesters) and volatile memory
+        regions lose their content; persistent (NVM) regions survive, so
+        FORD-style undo logs remain recoverable.  With
+        ``restart_after_ns`` the blade comes back automatically.
+        """
+        if not self.device.online:
+            raise RuntimeError(f"node {self.node_id} is already down")
+        self.device.fail()
+        self.storage.power_fail()
+        if restart_after_ns is not None:
+            self.sim.call_after(restart_after_ns, self._restart_event, None)
+
+    def _restart_event(self, _value) -> None:
+        if not self.device.online:
+            self.restart()
+
+    def restart(self) -> None:
+        """Bring a crashed blade back online (runs the device's restore
+        hooks, e.g. recovery managers registered by a fault injector)."""
+        if self.device.online:
+            raise RuntimeError(f"node {self.node_id} is already online")
+        self.device.restore()
 
     def add_threads(self, count: int) -> List[ComputeThread]:
         """Create ``count`` worker threads on this (compute) blade."""

@@ -72,6 +72,9 @@ class SmartHandle:
         self._attempts = 0  # consecutive failed CAS attempts (backoff index)
         self._op_started_at: Optional[int] = None
         self._op_retries = 0
+        #: batches from the most recent :meth:`sync` that completed with a
+        #: non-OK status (empty after a clean sync)
+        self.last_errors: List[WorkBatch] = []
 
     # -- verb buffering (paper API: read/write/cas/faa) ------------------------
 
@@ -128,10 +131,50 @@ class SmartHandle:
                 self._pending.append(batch)
 
     def sync(self):
-        """Wait for every batch this coroutine has posted (SmartPollCq)."""
+        """Wait for every batch this coroutine has posted (SmartPollCq).
+
+        Returns the batches that completed with an error status (empty
+        list on a clean sync) and keeps them on :attr:`last_errors`, so
+        callers that care about faults can check either — and callers
+        that predate fault injection keep working unchanged.
+        """
         pending, self._pending = self._pending, []
+        failed: List[WorkBatch] = []
         for batch in pending:
             yield from verbs.wait_completion(self.thread, batch)
+            if not batch.ok:
+                failed.append(batch)
+        self.last_errors = failed
+        return failed
+
+    def reconnect(self, node_id: int):
+        """Recover the connection to ``node_id`` after a fault completion.
+
+        Models destroy-and-reconnect: probe the remote blade every
+        ``reconnect_probe_ns`` with a jittered truncated-exponential gap
+        on top (the :class:`ConflictAvoider`'s schedule, active even when
+        SMART's optional backoff feature is off) until it answers or
+        ``reconnect_retry_limit`` probes fail.  Returns True when the QP
+        is back in RTS; recovery latency lands in the thread's stats.
+        """
+        qp = self.thread.qp_for(node_id)
+        config = self.thread.config
+        avoider = self.smart.avoider
+        remote = qp.remote_node.device
+        started = self.sim.now
+        for attempt in range(config.reconnect_retry_limit):
+            delay = config.reconnect_probe_ns + avoider.reconnect_backoff_ns(attempt)
+            yield self.sim.timeout(delay)
+            if remote.online:
+                qp.reset()
+                self.smart.stats.record_recovery(self.sim.now - started)
+                return True
+        self.smart.stats.record_recovery(self.sim.now - started, failed=True)
+        return False
+
+    def note_fault_abort(self) -> None:
+        """Count an op attempt wasted by an error completion."""
+        self.smart.stats.record_fault_abort()
 
     # -- synchronous conveniences -----------------------------------------------------
 

@@ -57,8 +57,11 @@ class ConflictAvoider:
         #: [(time, t_max, c_max, gamma)] for observability
         self.history: List[Tuple[int, float, int, float]] = []
         self._stopped = False
+        self._window_process = None
         if features.dynamic_backoff_limit or features.coroutine_throttling:
-            sim.spawn(self._window_loop(), name=f"{name}.window")
+            self._window_process = sim.spawn(
+                self._window_loop(), name=f"{name}.window"
+            )
 
     # -- operation concurrency (c_max) ----------------------------------------
 
@@ -88,10 +91,32 @@ class ConflictAvoider:
             attempt, self.t0_ns, self.t_max_ns, self.rng
         )
 
+    def reconnect_backoff_ns(self, attempt: int) -> float:
+        """Jittered truncated-exponential delay for QP reconnect probes.
+
+        Unlike :meth:`backoff_ns` this ignores the ``backoff`` feature
+        gate: reconnect pacing after a blade crash is part of the
+        transport's recovery path, not an optional SMART optimization, so
+        baseline (feature-off) configurations must still spread their
+        probes instead of hammering the crashed blade in lockstep.
+        """
+        return truncated_exponential_backoff_ns(
+            attempt, self.t0_ns, self.t_big_ns, self.rng
+        )
+
     # -- the γ controller -----------------------------------------------------------
 
     def stop(self) -> None:
+        """Stop the γ controller immediately.
+
+        The window loop sleeps a full ``retry_window_ns`` between samples;
+        merely setting the flag would leave the process alive (holding a
+        pending window event) until the next boundary, so the sleeping
+        process is interrupted as well.
+        """
         self._stopped = True
+        if self._window_process is not None and self._window_process.alive:
+            self._window_process.interrupt("stopped")
 
     def _window_loop(self):
         features = self.features

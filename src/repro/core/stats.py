@@ -20,6 +20,13 @@ class OperationStats:
         self.retry_histogram: Counter = Counter()
         self.latencies_ns: List[float] = []
         self._sample_stride = 1
+        #: ops aborted by a fault completion (flush / remote-abort /
+        #: retry-exceeded) — the wasted-IOPS side of fault injection
+        self.fault_aborts = 0
+        #: completed QP reconnect rounds and their latencies
+        self.recoveries = 0
+        self.failed_recoveries = 0
+        self.recovery_latencies_ns: List[float] = []
         #: set by the runner at the start of the measurement window; ops
         #: before that are warmup and only counted if recording is on
         self.recording = True
@@ -39,6 +46,19 @@ class OperationStats:
                 self.latencies_ns = self.latencies_ns[::2]
                 self._sample_stride *= 2
 
+    def record_fault_abort(self) -> None:
+        """One op attempt thrown away because a WR completed with error."""
+        self.fault_aborts += 1
+
+    def record_recovery(self, latency_ns: float, failed: bool = False) -> None:
+        """One QP reconnect round (recovery latency is always recorded,
+        warmup or not — faults don't respect measurement windows)."""
+        if failed:
+            self.failed_recoveries += 1
+            return
+        self.recoveries += 1
+        self.recovery_latencies_ns.append(latency_ns)
+
     def reset(self) -> None:
         self.__init__()
 
@@ -51,14 +71,25 @@ class OperationStats:
             total.ops += part.ops
             total.retries += part.retries
             total.failed_ops += part.failed_ops
+            total.fault_aborts += part.fault_aborts
+            total.recoveries += part.recoveries
+            total.failed_recoveries += part.failed_recoveries
+            total.recovery_latencies_ns.extend(part.recovery_latencies_ns)
             total.retry_histogram.update(part.retry_histogram)
             total.latencies_ns.extend(part.latencies_ns)
         total.latencies_ns.sort()
+        total.recovery_latencies_ns.sort()
         return total
 
     @property
     def avg_retries(self) -> float:
         return self.retries / self.ops if self.ops else 0.0
+
+    @property
+    def avg_recovery_ns(self) -> float:
+        if not self.recovery_latencies_ns:
+            return 0.0
+        return sum(self.recovery_latencies_ns) / len(self.recovery_latencies_ns)
 
     def latency_percentile_ns(self, fraction: float) -> Optional[float]:
         if not self.latencies_ns:

@@ -29,8 +29,11 @@ class WorkRequestThrottler:
         #: chosen C_max history [(time, value)] for observability
         self.cmax_history = [(sim.now, self.cmax)]
         self._stopped = False
+        self._epoch_process = None
         if self.enabled and features.adaptive_credit:
-            sim.spawn(self._epoch_loop(), name=f"{name}.epochs")
+            self._epoch_process = sim.spawn(
+                self._epoch_loop(), name=f"{name}.epochs"
+            )
 
     # -- Algorithm 1, lines 1-13 -------------------------------------------
 
@@ -59,7 +62,15 @@ class WorkRequestThrottler:
         self.cmax_history.append((self.sim.now, target))
 
     def stop(self) -> None:
+        """Stop the epoch search immediately.
+
+        The epoch loop sleeps up to ``stable_epochs * Δ`` at a time; the
+        flag alone would keep the process (and its pending timeout event)
+        alive until that window fires, so interrupt the sleeper too.
+        """
         self._stopped = True
+        if self._epoch_process is not None and self._epoch_process.alive:
+            self._epoch_process.interrupt("stopped")
 
     def _epoch_loop(self):
         features = self.features

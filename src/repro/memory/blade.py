@@ -58,6 +58,7 @@ class MemoryBlade:
         self.writes = 0
         self.atomics = 0
         self.failed_cas = 0
+        self.power_failures = 0
 
     # -- region management --------------------------------------------------
 
@@ -95,6 +96,28 @@ class MemoryBlade:
 
     def global_addr(self, offset: int) -> int:
         return make_addr(self.blade_id, offset)
+
+    def power_fail(self) -> None:
+        """Model a blade crash: DRAM content is lost, NVM survives.
+
+        Every byte outside a ``persistent`` region is zeroed; persistent
+        regions (FORD's undo-log rings, durable data) keep their content,
+        which is what makes crash recovery possible at all.  Region
+        bookkeeping (the blade-side allocator state) is kept — it stands
+        in for the durable metadata a real blade would re-derive.
+        """
+        self.power_failures += 1
+        survivors = sorted(
+            (r for r in self._regions.values() if r.persistent),
+            key=lambda r: r.base,
+        )
+        cursor = 0
+        for region in survivors:
+            if cursor < region.base:
+                self._memory[cursor : region.base] = bytes(region.base - cursor)
+            cursor = max(cursor, region.end)
+        if cursor < self.capacity:
+            self._memory[cursor :] = bytes(self.capacity - cursor)
 
     # -- data operations -----------------------------------------------------
 

@@ -123,6 +123,25 @@ class RnicConfig:
 
     blade_capacity_bytes: int = 64 << 20
 
+    # -- fault handling / recovery -------------------------------------------------
+    retransmit_timeout_ns: float = 16_000.0
+    """RC transport ack timeout before a lost message is retransmitted
+    (hardware retry; order of the IB local-ack-timeout at small scale)."""
+
+    transport_retry_limit: int = 7
+    """RC retry_count: retransmissions before the QP gives up, completes
+    the WR with error and transitions to the ERROR state."""
+
+    crash_detect_ns: float = 50_000.0
+    """Latency from a remote blade dying to the requester surfacing
+    completion-with-error for WRs targeting it (timeout + CM notification)."""
+
+    reconnect_probe_ns: float = 20_000.0
+    """Cost of one reconnect attempt (CM handshake probe) during recovery."""
+
+    reconnect_retry_limit: int = 64
+    """Reconnect attempts before a client gives the remote node up."""
+
     enforce_protection: bool = False
     """When on, responders check every one-sided access against the
     blade's registered regions (the MPT's security-check role, §2.2);

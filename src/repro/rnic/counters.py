@@ -27,6 +27,25 @@ class PerfCounters:
     responder_busy_ns: float = 0.0
     protection_faults: int = 0
 
+    # -- fault-injection accounting (the wasted-IOPS ledger) ------------------
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    messages_delayed: int = 0
+    retransmissions: int = 0
+    wasted_wire_bytes: float = 0.0
+    """Wire bytes spent on messages that were dropped, duplicated or
+    retransmitted — IOPS/bandwidth the fabric burned without making
+    application progress."""
+
+    error_completions: int = 0
+    """WRs completed with a non-OK status (remote abort, retry exceeded)."""
+
+    flushed_wrs: int = 0
+    """WRs posted on an ERROR-state QP and flushed without execution."""
+
+    qp_errors: int = 0
+    """QP transitions into the ERROR state."""
+
     def snapshot(self) -> "PerfCounters":
         return PerfCounters(**vars(self))
 
@@ -48,6 +67,11 @@ class PerfCounters:
         if self.wqe_processed == 0:
             return 0.0
         return self.wqe_cache_miss_wrs / self.wqe_processed
+
+    @property
+    def wasted_wrs(self) -> float:
+        """WRs whose processing made no application progress."""
+        return self.retransmissions + self.error_completions + self.flushed_wrs
 
     def requester_utilization(self, window_ns: float) -> float:
         """Fraction of a window the requester pipeline was busy.  ~1.0

@@ -64,11 +64,20 @@ class RnicDevice:
         fabric,
         name: str,
         storage=None,
+        node_id: Optional[int] = None,
     ):
         self.sim = sim
         self.config = config
         self.fabric = fabric
         self.name = name
+        #: hosting blade's node id (None for devices built outside a Node)
+        self.node_id = node_id
+        #: False while the hosting blade is crashed; messages to an
+        #: offline device are blackholed and surface as error completions
+        self.online = True
+        self.crashes = 0
+        #: callbacks invoked (with this device) when the blade restarts
+        self.on_restore: List = []
         #: blade memory served by the responder (None on pure compute blades)
         self.storage = storage
         self.contexts: List[DeviceContext] = []
@@ -101,6 +110,43 @@ class RnicDevice:
         """Memory-blade side of RC connection establishment (bookkeeping
         only — the responder path is insensitive to QP count)."""
         self.accepted_qps += 1
+
+    def fail(self) -> None:
+        """The hosting blade crashed: stop serving (idempotent)."""
+        if not self.online:
+            return
+        self.online = False
+        self.crashes += 1
+
+    def restore(self) -> None:
+        """The hosting blade restarted: resume serving, run restore hooks."""
+        if self.online:
+            return
+        self.online = True
+        for callback in list(self.on_restore):
+            callback(self)
+
+    def fail_batch(self, batch: WorkBatch, status: str, delay_ns: float = 0.0) -> None:
+        """Complete ``batch`` with error CQEs after ``delay_ns``.
+
+        Marks every still-OK WR with ``status``, moves the QP to ERROR and
+        routes the batch through the normal completion path (so credit
+        replenishment and outstanding-WR accounting stay balanced).
+        """
+        from repro.rnic.qp import WorkRequest
+
+        for wr in batch.wrs:
+            if wr.status == WorkRequest.STATUS_OK:
+                wr.status = status
+        batch.qp.to_error(status)
+        if status == WorkRequest.STATUS_FLUSH:
+            self.counters.flushed_wrs += len(batch)
+        else:
+            self.counters.error_completions += len(batch)
+        if delay_ns > 0:
+            self.sim.call_after(delay_ns, self.complete, batch)
+        else:
+            self.sim.call_at(self.sim.now, self.complete, batch)
 
     def complete(self, batch: WorkBatch) -> None:
         """Response arrived: DMA the CQEs and wake the poster."""

@@ -39,6 +39,22 @@ class RequesterEngine:
         if device.tracer is not None:
             device.tracer.record(batch.batch_id, "posted", sim.now)
 
+        qp = batch.qp
+        if qp.state == qpmod.QueuePair.STATE_ERROR:
+            # Driver-level flush: WRs posted on an ERROR QP never reach
+            # the wire; they complete immediately with a flush status.
+            device.fail_batch(batch, qpmod.WorkRequest.STATUS_FLUSH)
+            return
+        if not qp.remote_node.device.online:
+            # Remote blade is down: no ack will ever arrive.  Surface
+            # completion-with-error after the detection timeout.
+            device.fail_batch(
+                batch,
+                qpmod.WorkRequest.STATUS_REMOTE_ABORT,
+                delay_ns=config.crash_detect_ns,
+            )
+            return
+
         # One memoized evaluation per cache model: service multiplier,
         # miss rate and DMA cost all derive from the same miss curve.
         wqe_miss, wqe_multiplier, wqe_dma_per_wr = device.wqe_cache.lookup(outstanding)
@@ -62,9 +78,56 @@ class RequesterEngine:
 
         if device.tracer is not None:
             device.tracer.record(batch.batch_id, "issued", int(finish))
-        transit = device.fabric.record(batch.wire_bytes)
+        self._transmit(batch, finish, 0)
+
+    def _transmit(self, batch: WorkBatch, ready_ns: float, attempt: int) -> None:
+        """Put a batch on the wire at ``ready_ns``; handles loss/retransmit.
+
+        With a perfect fabric this reduces to the original single
+        ``call_at`` of the responder.  Under injected loss the RC
+        transport retransmits after the ack timeout, up to
+        ``transport_retry_limit`` times, then completes with error and
+        moves the QP to ERROR.  Duplicated messages are filtered by PSN
+        at the receiver and only waste wire bytes.
+        """
+        device = self.device
+        sim = device.sim
+        config = device.config
         remote = batch.qp.remote_node.device
-        sim.call_at(finish + transit, remote.responder.handle, batch)
+        if not remote.online:
+            device.fail_batch(
+                batch,
+                qpmod.WorkRequest.STATUS_REMOTE_ABORT,
+                delay_ns=(ready_ns - sim.now) + config.crash_detect_ns,
+            )
+            return
+        delay, dropped, duplicated = device.fabric.transit(
+            batch.wire_bytes, ready_ns, device.node_id, remote.node_id
+        )
+        counters = device.counters
+        if duplicated:
+            counters.wasted_wire_bytes += batch.wire_bytes
+        if dropped:
+            counters.wasted_wire_bytes += batch.wire_bytes
+            if attempt >= config.transport_retry_limit:
+                device.fail_batch(
+                    batch,
+                    qpmod.WorkRequest.STATUS_RETRY_EXCEEDED,
+                    delay_ns=(ready_ns - sim.now) + config.retransmit_timeout_ns,
+                )
+                return
+            counters.retransmissions += len(batch)
+            sim.call_at(
+                ready_ns + config.retransmit_timeout_ns,
+                self._retransmit,
+                (batch, attempt + 1),
+            )
+            return
+        sim.call_at(ready_ns + delay, remote.responder.handle, batch)
+
+    def _retransmit(self, pair) -> None:
+        batch, attempt = pair
+        self._transmit(batch, self.device.sim.now, attempt)
 
 
 class ResponderEngine:
@@ -85,6 +148,18 @@ class ResponderEngine:
         sim = device.sim
         config = device.config
         n = len(batch)
+
+        if not device.online:
+            # The blade died while the request was in flight: blackhole.
+            # The requester surfaces completion-with-error after its
+            # detection timeout.
+            origin = batch.qp.device
+            origin.fail_batch(
+                batch,
+                qpmod.WorkRequest.STATUS_REMOTE_ABORT,
+                delay_ns=origin.config.crash_detect_ns,
+            )
+            return
 
         per_wr_ns = config.responder_service_ns
         bandwidth_ns = batch.wire_bytes / config.network_bytes_per_ns
@@ -108,6 +183,15 @@ class ResponderEngine:
 
     def _execute_and_reply(self, batch: WorkBatch) -> None:
         device = self.device
+        if not device.online:
+            # Crash landed between queueing and execution: nothing ran.
+            origin = batch.qp.device
+            origin.fail_batch(
+                batch,
+                qpmod.WorkRequest.STATUS_REMOTE_ABORT,
+                delay_ns=origin.config.crash_detect_ns,
+            )
+            return
         storage = device.storage
         if storage is None:
             raise RuntimeError(f"{device.name}: one-sided op targets a blade without memory")
@@ -122,8 +206,21 @@ class ResponderEngine:
         origin = batch.qp.device
         if origin.tracer is not None:
             origin.tracer.record(batch.batch_id, "executed", device.sim.now)
-        transit = device.fabric.record(batch.wire_bytes)
-        device.sim.call_at(device.sim.now + transit, origin.complete, batch)
+        sim = device.sim
+        delay, dropped, duplicated = device.fabric.transit(
+            batch.wire_bytes, sim.now, device.node_id, origin.node_id
+        )
+        if duplicated:
+            origin.counters.wasted_wire_bytes += batch.wire_bytes
+        if dropped:
+            # A lost ack/completion is recovered by a PSN-coordinated
+            # retransmit: the operation is NOT re-executed (duplicate
+            # requests are filtered by sequence number); the requester
+            # just pays the ack timeout plus the resent message.
+            origin.counters.retransmissions += len(batch)
+            origin.counters.wasted_wire_bytes += batch.wire_bytes
+            delay += origin.config.retransmit_timeout_ns
+        sim.call_at(sim.now + delay, origin.complete, batch)
 
     @staticmethod
     def _access_allowed(storage, wr) -> bool:

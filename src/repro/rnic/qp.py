@@ -41,6 +41,18 @@ class WorkRequest:
 
     STATUS_OK = "ok"
     STATUS_ACCESS_ERROR = "access-error"
+    #: the remote blade died while the WR was in flight (IBV_WC_REM_OP_ERR)
+    STATUS_REMOTE_ABORT = "remote-abort"
+    #: RC transport exhausted its retransmissions (IBV_WC_RETRY_EXC_ERR)
+    STATUS_RETRY_EXCEEDED = "retry-exceeded"
+    #: posted on a QP already in the ERROR state (IBV_WC_WR_FLUSH_ERR)
+    STATUS_FLUSH = "flush-error"
+
+    #: statuses that indicate a fabric/blade fault (vs. an application-level
+    #: protection error); these put the QP into the ERROR state
+    FAULT_STATUSES = frozenset(
+        {STATUS_REMOTE_ABORT, STATUS_RETRY_EXCEEDED, STATUS_FLUSH}
+    )
 
     def __init__(
         self,
@@ -145,6 +157,22 @@ class WorkBatch:
     def __len__(self) -> int:
         return len(self.wrs)
 
+    @property
+    def status(self) -> str:
+        """Aggregate completion status: OK, or the first failed WR's."""
+        for wr in self.wrs:
+            if wr.status != WorkRequest.STATUS_OK:
+                return wr.status
+        return WorkRequest.STATUS_OK
+
+    @property
+    def ok(self) -> bool:
+        return all(wr.status == WorkRequest.STATUS_OK for wr in self.wrs)
+
+    def errors(self) -> List[WorkRequest]:
+        """The WRs that completed with a non-OK status."""
+        return [wr for wr in self.wrs if wr.status != WorkRequest.STATUS_OK]
+
 
 class CompletionQueue:
     """Completion accounting for one thread's QPs.
@@ -165,7 +193,18 @@ class CompletionQueue:
 
 
 class QueuePair:
-    """A reliable-connection QP between a local device and a remote blade."""
+    """A reliable-connection QP between a local device and a remote blade.
+
+    The state machine is collapsed to the two states that matter for the
+    fault model: ``RTS`` (operational) and ``ERROR``.  A transport failure
+    (retry exhaustion, remote blade crash) moves the QP to ``ERROR``;
+    while there, every posted WR is flushed with
+    :data:`WorkRequest.STATUS_FLUSH` instead of executing.  ``reset()``
+    models destroy-and-reconnect (the CM round) back to ``RTS``.
+    """
+
+    STATE_RTS = "rts"
+    STATE_ERROR = "error"
 
     _next_id = 0
 
@@ -190,6 +229,27 @@ class QueuePair:
         self.completed_wrs = 0
         #: threads that post on this QP (contend on its driver lock)
         self.users = set()
+        self.state = QueuePair.STATE_RTS
+        #: completion status that moved the QP to ERROR (None while RTS)
+        self.error_cause: Optional[str] = None
+        #: completed destroy-and-reconnect rounds
+        self.reconnects = 0
+
+    def to_error(self, cause: str) -> None:
+        """Transition to the ERROR state (idempotent)."""
+        if self.state == QueuePair.STATE_ERROR:
+            return
+        self.state = QueuePair.STATE_ERROR
+        self.error_cause = cause
+        self.context.device.counters.qp_errors += 1
+
+    def reset(self) -> None:
+        """Reconnect an ERROR QP (destroy + re-create, back to RTS)."""
+        if self.state != QueuePair.STATE_ERROR:
+            return
+        self.state = QueuePair.STATE_RTS
+        self.error_cause = None
+        self.reconnects += 1
 
     def note_user(self, thread_id: int) -> None:
         self.users.add(thread_id)

@@ -33,6 +33,15 @@ def post_send(thread, qp: QueuePair, wrs: List[WorkRequest]) -> Generator:
 
     yield from thread.compute(config.wqe_build_ns * len(wrs))
 
+    if qp.state == QueuePair.STATE_ERROR:
+        # Posting on an ERROR QP skips the doorbell entirely: the driver
+        # flushes the WRs straight to the CQ with IBV_WC_WR_FLUSH_ERR.
+        # CPU for WQE building is still charged (the check happens at
+        # ring time), which also keeps retry loops from spinning at t=0.
+        qp.posted_wrs += len(wrs)
+        device.requester.submit(batch)
+        return batch
+
     thread_id = getattr(thread, "thread_id", 0)
     if qp.share_lock is not None:
         qp.note_user(thread_id)

@@ -86,9 +86,12 @@ class Timeout(Waitable):
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         super().__init__(sim)
+        # Round first so Timeout and Delay agree on which durations are
+        # negative: -0.4 rounds to 0 and is accepted by both.
+        delay = int(round(delay))
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
-        sim._schedule_at(sim.now + int(round(delay)), self._trigger, value)
+        sim._schedule_at(sim.now + delay, self._trigger, value)
 
 
 class Delay:

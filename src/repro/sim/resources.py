@@ -62,8 +62,12 @@ class FifoLock:
         if self._waiters:
             ticket, enqueued_at = self._waiters.popleft()
             self.acquisitions += 1
-            self.total_wait_ns += self._sim.now - enqueued_at
             delay = self._handoff_delay_ns()
+            # Stamp the wait at the instant the ticket actually fires: the
+            # hand-off (cache-line bounce) delay is part of what the next
+            # owner waits for — excluding it underestimated exactly the
+            # contention the SpinLock model exists to measure.
+            self.total_wait_ns += self._sim.now + delay - enqueued_at
             if delay > 0:
                 self._sim.call_after(delay, ticket.fire, self)
             else:

@@ -36,6 +36,25 @@ class TestBackoffDelay:
         avoider = make_avoider(sim, backoff=False)
         assert avoider.backoff_ns(5) == 0.0
 
+    def test_reconnect_backoff_ignores_feature_gate(self):
+        """Recovery retries always back off, even with features.backoff off."""
+        sim = Simulator()
+        avoider = make_avoider(sim, backoff=False)
+        delays = [avoider.reconnect_backoff_ns(a) for a in range(4)]
+        assert all(d > 0 for d in delays)
+        # Window widths double per attempt (truncated exponential).
+        assert avoider.reconnect_backoff_ns(10) <= avoider.t_big_ns * 2
+
+    def test_stop_interrupts_sleeping_window_process(self):
+        """stop() must not leave the window sleeper holding a heap event."""
+        sim = Simulator()
+        avoider = make_avoider(sim, dynamic_backoff_limit=True)
+        assert avoider._window_process.alive
+        avoider.stop()
+        sim.run(until=100_000)
+        assert not avoider._window_process.alive
+        assert sim.peek() is None  # heap drained: no pending window event
+
 
 class TestGammaController:
     def run_window(self, avoider, sim, ops, retries, windows=1):

@@ -1,0 +1,370 @@
+"""Fault injection and recovery: schedules, fabric faults, blade crashes,
+QP error/flush semantics, reconnect, and the end-to-end chaos smoke suite
+(marked ``chaos``)."""
+
+import dataclasses
+import random
+import struct
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import SmartContext, SmartThread
+from repro.core.features import baseline
+from repro.faults import BladeCrash, FaultInjector, FaultSchedule, parse_duration_ns
+from repro.network.fabric import Fabric, LinkFault
+from repro.rnic import verbs
+from repro.rnic.qp import QueuePair, WorkRequest, read_wr
+from repro.memory.blade import MemoryBlade
+
+_U64 = struct.Struct("<Q")
+
+
+# -- schedule construction ----------------------------------------------------
+
+
+class TestScheduleParsing:
+    def test_parse_duration_units(self):
+        assert parse_duration_ns("500") == 500.0
+        assert parse_duration_ns("500ns") == 500.0
+        assert parse_duration_ns("1.5us") == 1500.0
+        assert parse_duration_ns("2ms") == 2e6
+        assert parse_duration_ns("1s") == 1e9
+
+    def test_parse_clauses(self):
+        sched = FaultSchedule.parse(
+            "loss=0.02@0.5ms+1ms, dup=0.01@0+2ms:1, delay=500ns@1ms+1ms, "
+            "crash=2@0.8ms+0.4ms"
+        )
+        assert len(sched.link_faults) == 3
+        loss, dup, delay = sched.link_faults
+        assert loss.loss == 0.02 and loss.start_ns == 0.5e6 and loss.duration_ns == 1e6
+        assert dup.duplicate == 0.01 and dup.node_id == 1
+        assert delay.extra_delay_ns == 500.0
+        (crash,) = sched.crashes
+        assert crash.node_id == 2
+        assert crash.start_ns == 0.8e6 and crash.downtime_ns == 0.4e6
+        assert crash.restart_ns == 1.2e6
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.parse("loss=0.02")
+        with pytest.raises(ValueError):
+            FaultSchedule.parse("explode=1@0+1ms")
+        with pytest.raises(ValueError):
+            FaultSchedule.parse("loss=2.0@0+1ms")  # probability > 1
+        with pytest.raises(ValueError):
+            FaultSchedule.parse("crash=1@0+1ms:2")  # crash node via suffix
+
+    def test_seeded_is_deterministic(self):
+        a = FaultSchedule.seeded(42, 1e6, 2e6, crash_nodes=(1, 2))
+        b = FaultSchedule.seeded(42, 1e6, 2e6, crash_nodes=(1, 2))
+        c = FaultSchedule.seeded(43, 1e6, 2e6, crash_nodes=(1, 2))
+        assert a == b
+        assert a != c
+        assert a.crashes and a.link_faults
+        assert all(f.start_ns >= 1e6 for f in a.link_faults)
+
+    def test_from_spec_passthrough_and_keywords(self):
+        sched = FaultSchedule.parse("loss=0.1@0+1ms")
+        assert FaultSchedule.from_spec(sched) is sched
+        seeded = FaultSchedule.from_spec("seeded", seed=3, crash_nodes=(1,))
+        assert seeded == FaultSchedule.seeded(3, 0.0, 2.0e6, crash_nodes=(1,))
+
+    def test_crash_validation(self):
+        with pytest.raises(ValueError):
+            BladeCrash(1, -1.0, 10.0)
+        with pytest.raises(ValueError):
+            BladeCrash(1, 0.0, 0.0)
+
+    def test_schedule_horizon(self):
+        sched = FaultSchedule.parse("loss=0.1@0+1ms,crash=1@2ms+0.5ms")
+        assert sched.horizon_ns == 2.5e6
+        assert FaultSchedule().empty and FaultSchedule().horizon_ns == 0.0
+
+
+# -- fabric faults ------------------------------------------------------------
+
+
+class TestFabricFaults:
+    def test_fast_path_matches_record_and_needs_no_rng(self):
+        fabric = Fabric(1000.0)
+        assert fabric.transit(64, now=0.0) == (1000.0, False, False)
+        assert fabric.messages == 1 and fabric.bytes_carried == 64
+        assert fabric.fault_rng is None  # never consulted
+
+    def test_faults_without_rng_raise(self):
+        fabric = Fabric(1000.0)
+        fabric.add_fault(LinkFault(0.0, 1e6, loss=1.0))
+        with pytest.raises(RuntimeError):
+            fabric.transit(8, now=10.0)
+
+    def test_loss_duplication_and_delay_draws(self):
+        fabric = Fabric(1000.0)
+        fabric.fault_rng = random.Random(1)
+        fabric.add_fault(LinkFault(0.0, 1e6, loss=1.0, extra_delay_ns=250.0))
+        delay, dropped, duplicated = fabric.transit(8, now=10.0)
+        assert dropped and not duplicated
+        assert delay == 1250.0
+        assert fabric.messages_dropped == 1 and fabric.messages_delayed == 1
+        # Outside the window the fault is inert.
+        assert fabric.transit(8, now=2e6) == (1000.0, False, False)
+
+    def test_link_fault_endpoint_filter(self):
+        fault = LinkFault(0.0, 1e6, loss=1.0, node_id=2)
+        assert fault.active(10.0, src=0, dst=2)
+        assert fault.active(10.0, src=2, dst=0)
+        assert not fault.active(10.0, src=0, dst=1)
+        assert not fault.active(2e6, src=0, dst=2)  # expired
+
+    def test_clear_expired_faults(self):
+        fabric = Fabric()
+        fabric.add_fault(LinkFault(0.0, 100.0, loss=0.5))
+        fabric.add_fault(LinkFault(0.0, 1e6, loss=0.5))
+        fabric.clear_expired_faults(now=500.0)
+        assert len(fabric.faults) == 1
+
+
+# -- blade crash semantics ----------------------------------------------------
+
+
+class TestBladeCrash:
+    def test_power_fail_zeroes_volatile_keeps_persistent(self):
+        blade = MemoryBlade(0, capacity=1 << 16)
+        vol = blade.alloc_region("vol", 64)
+        nvm = blade.alloc_region("nvm", 64, persistent=True)
+        blade.write(vol.base, b"\xaa" * 64)
+        blade.write(nvm.base, b"\xbb" * 64)
+        blade.power_fail()
+        assert blade.read(vol.base, 64) == b"\x00" * 64
+        assert blade.read(nvm.base, 64) == b"\xbb" * 64
+        assert blade.power_failures == 1
+
+    def test_node_crash_and_restart(self):
+        cluster = Cluster()
+        node = cluster.add_node()
+        restored = []
+        node.device.on_restore.append(restored.append)
+        node.crash()
+        assert not node.online and node.device.crashes == 1
+        with pytest.raises(RuntimeError):
+            node.crash()
+        node.restart()
+        assert node.online and restored == [node.device]
+        with pytest.raises(RuntimeError):
+            node.restart()
+
+    def test_crash_with_auto_restart(self):
+        cluster = Cluster()
+        node = cluster.add_node()
+        node.crash(restart_after_ns=500.0)
+        cluster.sim.run(until=1000)
+        assert node.online
+
+
+# -- QP error / flush / retransmission ---------------------------------------
+
+
+def _one_thread_deployment():
+    cluster = Cluster()
+    compute = cluster.add_node()
+    compute.add_threads(1)
+    remote = cluster.add_node()
+    region = remote.storage.alloc_region("data", 4096)
+    SmartContext(compute, [remote], baseline())
+    thread = compute.threads[0]
+    return cluster, compute, remote, region, thread
+
+
+class TestFaultCompletions:
+    def test_crash_in_flight_completes_with_remote_abort(self):
+        cluster, compute, remote, region, thread = _one_thread_deployment()
+        qp = thread.qp_for(remote.node_id)
+        statuses = []
+
+        def worker():
+            batch = yield from verbs.post_and_wait(
+                thread, qp, [read_wr(remote.storage.global_addr(region.base), 8)]
+            )
+            statuses.append(batch.status)
+
+        cluster.sim.spawn(worker())
+        remote.crash()  # down before the request lands
+        cluster.sim.run()
+        assert statuses == [WorkRequest.STATUS_REMOTE_ABORT]
+        assert qp.state == QueuePair.STATE_ERROR
+        assert qp.error_cause == WorkRequest.STATUS_REMOTE_ABORT
+        assert compute.device.counters.error_completions == 1
+        assert compute.device.outstanding == 0  # accounting balanced
+
+    def test_error_qp_flushes_posts_without_touching_wire(self):
+        cluster, compute, remote, region, thread = _one_thread_deployment()
+        qp = thread.qp_for(remote.node_id)
+        qp.to_error("test")
+        wire_before = cluster.fabric.messages
+        statuses = []
+
+        def worker():
+            batch = yield from verbs.post_and_wait(
+                thread, qp, [read_wr(remote.storage.global_addr(region.base), 8)]
+            )
+            statuses.append(batch.status)
+
+        cluster.sim.spawn(worker())
+        cluster.sim.run()
+        assert statuses == [WorkRequest.STATUS_FLUSH]
+        assert cluster.fabric.messages == wire_before
+        assert compute.device.counters.flushed_wrs == 1
+        assert qp.posted_wrs == 1 and qp.completed_wrs == 1
+
+    def test_full_loss_window_exhausts_retries(self):
+        cluster, compute, remote, region, thread = _one_thread_deployment()
+        injector = FaultInjector(
+            cluster, FaultSchedule(link_faults=(LinkFault(0.0, 1e9, loss=1.0),))
+        ).install()
+        qp = thread.qp_for(remote.node_id)
+        statuses = []
+
+        def worker():
+            batch = yield from verbs.post_and_wait(
+                thread, qp, [read_wr(remote.storage.global_addr(region.base), 8)]
+            )
+            statuses.append(batch.status)
+
+        cluster.sim.spawn(worker())
+        cluster.sim.run()
+        assert statuses == [WorkRequest.STATUS_RETRY_EXCEEDED]
+        limit = compute.config.transport_retry_limit
+        assert compute.device.counters.retransmissions == limit
+        assert compute.device.counters.wasted_wire_bytes > 0
+        assert qp.state == QueuePair.STATE_ERROR
+        assert injector.stats()["wasted_wrs"] >= limit
+
+    def test_partial_loss_retransmits_then_succeeds(self):
+        cluster, compute, remote, region, thread = _one_thread_deployment()
+        FaultInjector(
+            cluster,
+            FaultSchedule(link_faults=(LinkFault(0.0, 1e9, loss=0.5),), seed=5),
+        ).install()
+        qp = thread.qp_for(remote.node_id)
+        done = []
+
+        def worker():
+            for _ in range(20):
+                batch = yield from verbs.post_and_wait(
+                    thread, qp, [read_wr(remote.storage.global_addr(region.base), 8)]
+                )
+                done.append(batch.status)
+
+        cluster.sim.spawn(worker())
+        cluster.sim.run()
+        assert done.count(WorkRequest.STATUS_OK) == 20
+        assert compute.device.counters.retransmissions > 0
+
+    def test_reconnect_after_restart(self):
+        cluster, compute, remote, region, thread = _one_thread_deployment()
+        smart = SmartThread(thread, baseline(), seed=3)
+        handle = smart.handle()
+        qp = thread.qp_for(remote.node_id)
+        outcomes = []
+
+        def worker():
+            data = yield from handle.read_sync(
+                remote.storage.global_addr(region.base), 8
+            )
+            outcomes.append(("fault", handle.last_errors[0].status if handle.last_errors else data))
+            ok = yield from handle.reconnect(remote.node_id)
+            outcomes.append(("reconnected", ok))
+
+        remote.crash(restart_after_ns=200_000.0)
+        cluster.sim.spawn(worker())
+        cluster.sim.run()
+        assert outcomes[0] == ("fault", WorkRequest.STATUS_REMOTE_ABORT)
+        assert outcomes[1] == ("reconnected", True)
+        assert qp.state == QueuePair.STATE_RTS and qp.reconnects == 1
+        assert smart.stats.recoveries == 1
+        assert smart.stats.recovery_latencies_ns[0] > 0
+
+    def test_injector_auto_resets_error_qps_on_restart(self):
+        cluster, compute, remote, region, thread = _one_thread_deployment()
+        injector = FaultInjector(
+            cluster, FaultSchedule(crashes=(BladeCrash(remote.node_id, 1000.0, 50_000.0),))
+        ).install()
+        qp = thread.qp_for(remote.node_id)
+
+        def worker():
+            yield cluster.sim.timeout(2000)
+            yield from verbs.post_and_wait(
+                thread, qp, [read_wr(remote.storage.global_addr(region.base), 8)]
+            )
+
+        cluster.sim.spawn(worker())
+        cluster.sim.run()
+        assert injector.crashes_fired == 1 and injector.restarts_fired == 1
+        assert qp.state == QueuePair.STATE_RTS and qp.reconnects == 1
+
+    def test_injector_cannot_install_twice(self):
+        cluster = Cluster()
+        injector = FaultInjector(cluster, FaultSchedule())
+        injector.install()
+        with pytest.raises(RuntimeError):
+            injector.install()
+
+
+# -- end-to-end chaos smoke suite --------------------------------------------
+
+
+CHAOS_KW = dict(
+    system="ford", benchmark="smallbank", threads=4, coroutines=4,
+    item_count=20_000, warmup_ns=1.0e6, measure_ns=2.0e6,
+    faults="loss=0.01@1.1ms+1.6ms,crash=1@1.4ms+0.4ms", fault_seed=7,
+)
+
+
+@pytest.mark.chaos
+class TestChaosSmoke:
+    def test_dtx_survives_crash_and_loss_with_recovery(self):
+        from repro.bench.runner import run_dtx
+
+        result = run_dtx(**CHAOS_KW)
+        # The run completed and committed transactions despite the faults.
+        assert result.ops > 0 and result.throughput_mops > 0
+        # The crash fired and clients recovered their connections.
+        assert result.crashes == 1
+        assert result.recoveries >= 1 and result.failed_recoveries == 0
+        assert result.avg_recovery_us > 0
+        # Wasted-IOPS accounting: retransmits, error CQEs, aborted attempts.
+        assert result.retransmissions > 0
+        assert result.error_completions > 0
+        assert result.fault_aborts >= 1
+        assert result.wasted_wrs >= result.retransmissions
+        assert result.messages_dropped > 0
+        # FORD's NVM log recovery rolled back in-doubt records at restart.
+        assert result.rolled_back >= 1
+
+    def test_chaos_run_replays_bit_identically(self):
+        from repro.bench.runner import run_dtx
+
+        first = dataclasses.asdict(run_dtx(**CHAOS_KW))
+        second = dataclasses.asdict(run_dtx(**CHAOS_KW))
+        assert first == second
+
+    def test_different_fault_seed_changes_the_run(self):
+        from repro.bench.runner import run_dtx
+
+        base = dataclasses.asdict(run_dtx(**CHAOS_KW))
+        other = dataclasses.asdict(run_dtx(**{**CHAOS_KW, "fault_seed": 8}))
+        assert base != other
+
+    def test_disabled_faults_leave_run_untouched(self):
+        from repro.bench.runner import run_dtx
+
+        kw = {**CHAOS_KW, "faults": None}
+        result = run_dtx(**kw)
+        assert result.crashes == 0 and result.recoveries == 0
+        assert result.retransmissions == 0 and result.error_completions == 0
+        assert result.fault_aborts == 0 and result.messages_dropped == 0
+        assert result.rolled_back == 0 and result.wasted_wrs == 0
+        # And the fault-free run is itself deterministic.
+        again = run_dtx(**kw)
+        assert dataclasses.asdict(result) == dataclasses.asdict(again)

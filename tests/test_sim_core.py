@@ -51,6 +51,21 @@ def test_negative_timeout_rejected():
         sim.timeout(-1)
 
 
+def test_timeout_rounds_before_validating():
+    """-0.4 rounds to 0: Timeout and Delay must agree it is acceptable."""
+    assert Delay(-0.4).ns == 0
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        yield sim.timeout(-0.4)
+        fired.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert fired == [0]
+
+
 def test_event_fire_wakes_waiters_in_order():
     sim = Simulator()
     done = sim.event()

@@ -186,3 +186,45 @@ def test_token_bucket_rejects_negative_take():
     bucket = TokenBucket(sim, tokens=1)
     with pytest.raises(ValueError):
         bucket.take(-1)
+
+
+def test_spinlock_wait_includes_handoff_delay():
+    """The hand-off bounce is part of the next owner's wait time."""
+    sim = Simulator()
+    lock = SpinLock(sim, bounce_ns=50)
+
+    def worker():
+        yield lock.acquire()
+        yield sim.timeout(10)
+        lock.release()
+
+    sim.spawn(worker())
+    sim.spawn(worker())
+    sim.run()
+    # Second worker waits the 10 ns hold plus the 50 ns cache-line bounce.
+    assert lock.total_wait_ns == 60
+
+
+def test_token_bucket_shrunk_pool_keeps_fifo_order():
+    """A big head-of-line take must not be overtaken after adjust(-n)."""
+    sim = Simulator()
+    bucket = TokenBucket(sim, tokens=0)
+    order = []
+
+    def taker(tag, amount):
+        yield bucket.take(amount)
+        order.append(tag)
+
+    sim.spawn(taker("big", 10))
+    sim.spawn(taker("small", 1))
+    sim.run()
+    bucket.adjust(-5)
+    bucket.put(6)  # pool back to 1: enough for "small", but "big" is first
+    sim.run()
+    assert order == []
+    bucket.put(9)
+    sim.run()
+    assert order == ["big"]
+    bucket.put(1)
+    sim.run()
+    assert order == ["big", "small"]
