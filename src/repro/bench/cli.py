@@ -59,6 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "(same seed replays a faulty run bit-identically)")
     parser.add_argument("--dump-file-path", default=None,
                         help="append a CSV result line to this file")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Perfetto/chrome://tracing timeline "
+                             "(JSON) of the run to PATH")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the metrics registry (counters, gauges, "
+                             "latency histograms) as JSON to PATH")
     parser.add_argument("--figure", default=None, metavar="NAME",
                         help="regenerate a paper figure/table grid instead of "
                              "a single point (fig3..fig14, table1; 'all' runs "
@@ -94,10 +100,38 @@ def run_figures(args) -> int:
     return 0
 
 
+def format_phase_breakdown(breakdown) -> str:
+    """Render the per-phase latency table printed under a traced run."""
+    from repro.obs.tracing import SEGMENTS
+
+    lines = [
+        "batch lifecycle breakdown "
+        f"({breakdown['batches']:.0f} complete batches):",
+        f"  {'segment':<24}{'mean ns':>12}{'share':>8}",
+    ]
+    total = breakdown["total"] or 1.0
+    for name, _, _ in SEGMENTS:
+        lines.append(
+            f"  {name:<24}{breakdown[name]:>12.1f}"
+            f"{breakdown[name] / total:>7.1%}"
+        )
+    lines.append(f"  {'total':<24}{breakdown['total']:>12.1f}")
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.figure:
+        if args.trace or args.metrics_out:
+            print("--trace/--metrics-out apply to single-point runs, "
+                  "not --figure grids", file=sys.stderr)
+            return 2
         return run_figures(args)
+    obs = None
+    if args.trace or args.metrics_out:
+        from repro.obs import Observability
+
+        obs = Observability()
     started = time.time()
     result = run_microbench(
         policy=args.policy,
@@ -110,6 +144,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         faults=args.faults,
         fault_seed=args.fault_seed,
+        obs=obs,
     )
     bandwidth_mbps = result.throughput_mops * args.block_size
     wall_ms = (time.time() - started) * 1e3
@@ -131,6 +166,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"rdma-{args.op},{args.threads},{args.depth},{args.block_size},"
                 f"{bandwidth_mbps:.3f},{result.throughput_mops:.3f},{wall_ms:.3f}\n"
             )
+    if obs is not None:
+        if result.phase_breakdown:
+            print(format_phase_breakdown(result.phase_breakdown))
+        obs.write(
+            trace_path=args.trace,
+            metrics_path=args.metrics_out,
+            metadata={
+                "bench": f"rdma-{args.op}",
+                "threads": args.threads,
+                "depth": args.depth,
+                "block_size": args.block_size,
+                "policy": args.policy,
+            },
+        )
+        for path in (args.trace, args.metrics_out):
+            if path:
+                print(f"wrote {path}")
     return 0
 
 

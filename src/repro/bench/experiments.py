@@ -55,6 +55,9 @@ class ExperimentResult:
     observations: List[str] = field(default_factory=list)
     #: optional (x_column, y_columns) to render an ASCII chart in format()
     chart_spec: Optional[Tuple[str, Tuple[str, ...]]] = None
+    #: optional observability block (metrics snapshots, phase breakdowns)
+    #: attached by instrumented runs; empty for ordinary grid runs
+    telemetry: Dict = field(default_factory=dict)
 
     def format(self) -> str:
         lines = [format_table(self.headers, self.rows, title=self.name)]
@@ -69,6 +72,20 @@ class ExperimentResult:
                     x_labels=self.series(x_column),
                 )
             )
+        breakdown = self.telemetry.get("phase_breakdown")
+        if breakdown:
+            from repro.obs.tracing import SEGMENTS
+
+            lines.append("")
+            lines.append(format_table(
+                ["segment", "mean ns", "share"],
+                [[name, breakdown[name],
+                  breakdown[name] / breakdown["total"] if breakdown["total"] else 0.0]
+                 for name, _, _ in SEGMENTS]
+                + [["total", breakdown["total"], 1.0]],
+                title=(f"batch lifecycle breakdown "
+                       f"({breakdown['batches']:.0f} batches)"),
+            ))
         lines.append(f"paper: {self.paper_claim}")
         lines.extend(f"note:  {o}" for o in self.observations)
         return "\n".join(lines)
@@ -79,13 +96,18 @@ class ExperimentResult:
 
     def to_dict(self) -> Dict:
         """JSON-ready form (the machine-readable twin of :meth:`format`)."""
-        return {
+        data = {
             "name": self.name,
             "headers": list(self.headers),
             "rows": [list(row) for row in self.rows],
             "paper_claim": self.paper_claim,
             "observations": list(self.observations),
         }
+        # Key present only when telemetry was attached, so JSON artifacts
+        # from un-instrumented runs stay byte-identical.
+        if self.telemetry:
+            data["telemetry"] = dict(self.telemetry)
+        return data
 
 
 # -- Section 3: scalability bottlenecks ---------------------------------------------

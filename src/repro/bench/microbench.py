@@ -60,6 +60,9 @@ class MicrobenchResult:
     retransmissions: int = 0
     messages_dropped: int = 0
     wasted_wrs: int = 0
+    #: batch-weighted per-segment means (only when an Observability is
+    #: attached; None keeps fault-free results byte-identical)
+    phase_breakdown: Optional[dict] = None
 
     def __str__(self) -> str:
         return (
@@ -115,6 +118,7 @@ def run_microbench(
     latency_samples: bool = False,
     faults=None,
     fault_seed: int = 0,
+    obs=None,
 ) -> MicrobenchResult:
     """Run the bench tool at one (policy, threads, depth) point.
 
@@ -122,6 +126,10 @@ def run_microbench(
     :class:`repro.faults.FaultSchedule`); loss shows up as transparent
     RC retransmissions, crashes as flushed/error completions until the
     blade restarts and the injector resets the errored QPs.
+
+    ``obs`` attaches a :class:`repro.obs.Observability` before the run
+    and collects metrics / the phase breakdown afterwards.  Attachment
+    is passive: simulated numbers are bit-identical with or without it.
     """
     if policy == "smart" and features is None:
         # Scale the paper's Δ = 8 ms epoch down so the C_max search
@@ -171,6 +179,11 @@ def run_microbench(
                 SmartThread(t, features, seed=seed + i)
                 for i, t in enumerate(compute.threads)
             ]
+
+    if obs is not None:
+        obs.attach_cluster(cluster)
+        if smart_threads:
+            obs.attach_smart_threads(smart_threads)
 
     latencies: List[float] = []
     sim = cluster.sim
@@ -234,6 +247,17 @@ def run_microbench(
         ordered = sorted(latencies)
         result.batch_latency_p50_ns = percentile(ordered, 0.50)
         result.batch_latency_p99_ns = percentile(ordered, 0.99)
+    if obs is not None:
+        obs.phase("warmup", 0, warmup_ns)
+        obs.phase("measure", warmup_ns, warmup_ns + measure_ns)
+        obs.collect_cluster(cluster, window_ns=measure_ns)
+        if smart_threads:
+            from repro.core.stats import OperationStats
+
+            obs.collect_stats(OperationStats.merge(
+                [s.stats for s in smart_threads]
+            ))
+        result.phase_breakdown = obs.phase_breakdown(cluster)
     return result
 
 

@@ -44,8 +44,14 @@ def ratio(numerator: float, denominator: float) -> float:
 
 
 def result_slug(name: str) -> str:
-    """Filesystem-safe slug for an experiment name."""
-    return re.sub(r"[^a-z0-9]+", "-", name.lower()).strip("-")[:60]
+    """Filesystem-safe slug for an experiment name.
+
+    Names with no alphanumeric characters (or empty names) collapse to a
+    stable default instead of the empty string — an empty slug produced
+    hidden files like ``.txt``/``.json``.
+    """
+    slug = re.sub(r"[^a-z0-9]+", "-", name.lower()).strip("-")[:60]
+    return slug or "experiment"
 
 
 def write_experiment_text(result, directory) -> Path:

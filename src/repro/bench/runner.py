@@ -77,6 +77,9 @@ class RunResult:
     crashes: int = 0
     #: in-doubt records rolled back by FORD's recovery manager
     rolled_back: int = 0
+    #: batch-weighted per-segment means (only when an Observability is
+    #: attached; stays None — and out of serialized results — otherwise)
+    phase_breakdown: Optional[Dict] = None
 
     @property
     def total_threads(self) -> int:
@@ -201,6 +204,26 @@ def measure(
     return OperationStats.merge([s.stats for s in deployment.smart_threads])
 
 
+def collect_obs(
+    obs,
+    deployment: Deployment,
+    stats: OperationStats,
+    result: RunResult,
+    warmup_ns: float,
+    measure_ns: float,
+) -> RunResult:
+    """Post-run collection into an attached Observability (no-op on None)."""
+    if obs is None:
+        return result
+    warmup_ns = effective_warmup_ns(deployment.features, warmup_ns)
+    obs.phase("warmup", 0, warmup_ns)
+    obs.phase("measure", warmup_ns, warmup_ns + measure_ns)
+    obs.collect_cluster(deployment.cluster, window_ns=measure_ns)
+    obs.collect_stats(stats)
+    result.phase_breakdown = obs.phase_breakdown(deployment.cluster)
+    return result
+
+
 def result_from_stats(
     stats: OperationStats,
     system: str,
@@ -245,6 +268,7 @@ def run_hashtable(
     throttle_gap_ns: float = 0.0,
     faults=None,
     fault_seed: int = 0,
+    obs=None,
 ) -> RunResult:
     """One point of the hash-table experiments.
 
@@ -292,6 +316,8 @@ def run_hashtable(
     meta = server.meta()
 
     injector = install_faults(deployment, faults, fault_seed, warmup_ns, measure_ns)
+    if obs is not None:
+        obs.attach_deployment(deployment)
     sim = deployment.cluster.sim
     # One reusable pure-delay object serves every coroutine's gap sleeps
     # (the kernel's cheap Timeout alternative for fire-and-forget waits).
@@ -319,7 +345,8 @@ def run_hashtable(
     result = result_from_stats(
         stats, system, workload.name, threads, coroutines, compute_blades, measure_ns
     )
-    return apply_fault_stats(result, stats, deployment, injector)
+    apply_fault_stats(result, stats, deployment, injector)
+    return collect_obs(obs, deployment, stats, result, warmup_ns, measure_ns)
 
 
 # -- distributed transaction experiments (Figures 10, 11) ---------------------
@@ -341,6 +368,7 @@ def run_dtx(
     throttle_gap_ns: float = 0.0,
     faults=None,
     fault_seed: int = 0,
+    obs=None,
 ) -> RunResult:
     """One point of the FORD / SMART-DTX experiments (throughput in
     committed M txn/s).
@@ -376,6 +404,8 @@ def run_dtx(
         recovery = RecoveryManager(server)
         injector.wire_ford_recovery(recovery, log_rings)
 
+    if obs is not None:
+        obs.attach_deployment(deployment)
     sim = deployment.cluster.sim
     stream_seed = random.Random(seed)
     gap = sim.delay(throttle_gap_ns) if throttle_gap_ns > 0 else None
@@ -415,7 +445,8 @@ def run_dtx(
     result = result_from_stats(
         stats, system, benchmark, threads, coroutines, compute_blades, measure_ns
     )
-    return apply_fault_stats(result, stats, deployment, injector, recovery)
+    apply_fault_stats(result, stats, deployment, injector, recovery)
+    return collect_obs(obs, deployment, stats, result, warmup_ns, measure_ns)
 
 
 # -- B+Tree experiments (Figure 12) --------------------------------------------
@@ -437,6 +468,7 @@ def run_btree(
     client_cpu_ns: float = 2000.0,
     throttle_gap_ns: float = 0.0,
     hopl: bool = True,
+    obs=None,
 ) -> RunResult:
     """One point of the Sherman / SMART-BT experiments.
 
@@ -507,7 +539,10 @@ def run_btree(
                 sim.spawn(client_coroutine(smart, index_cache, locks, spec, stream))
 
     deployment = Deployment(cluster, nodes, nodes, smart_threads, features)
+    if obs is not None:
+        obs.attach_deployment(deployment)
     stats = measure(deployment, warmup_ns, measure_ns)
-    return result_from_stats(
+    result = result_from_stats(
         stats, system, workload.name, threads, coroutines, servers, measure_ns
     )
+    return collect_obs(obs, deployment, stats, result, warmup_ns, measure_ns)

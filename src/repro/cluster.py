@@ -129,6 +129,9 @@ class Cluster:
         self.sim = Simulator()
         self.fabric = Fabric(self.config.one_way_latency_ns)
         self.nodes: List[Node] = []
+        #: optional :class:`repro.obs.tracing.TraceRecorder` (set by
+        #: :meth:`repro.obs.Observability.attach_cluster`)
+        self.recorder = None
 
     def add_node(self) -> Node:
         node = Node(self.sim, self.config, self.fabric, len(self.nodes))

@@ -49,6 +49,8 @@ class SmartThread:
             self.sim, self.features, self.rng, thread.config.cpu_ghz, name=name
         )
         self.stats = OperationStats()
+        #: optional :class:`repro.obs.tracing.TraceRecorder` for op spans
+        self.recorder = None
 
     def handle(self) -> "SmartHandle":
         """A fresh per-coroutine handle sharing this thread's resources."""
@@ -175,6 +177,12 @@ class SmartHandle:
     def note_fault_abort(self) -> None:
         """Count an op attempt wasted by an error completion."""
         self.smart.stats.record_fault_abort()
+        recorder = self.smart.recorder
+        if recorder is not None:
+            recorder.instant(
+                f"client-n{self.thread.node.node_id}",
+                f"t{self.thread.thread_id}", "fault_abort", self.sim.now,
+            )
 
     # -- synchronous conveniences -----------------------------------------------------
 
@@ -241,6 +249,16 @@ class SmartHandle:
             raise RuntimeError("end_op without begin_op")
         latency = self.sim.now - self._op_started_at
         self.smart.stats.record_op(latency, retries=self._op_retries, failed=failed)
+        recorder = self.smart.recorder
+        if recorder is not None:
+            args = {"retries": self._op_retries}
+            if failed:
+                args["failed"] = True
+            recorder.span(
+                f"client-n{self.thread.node.node_id}",
+                f"t{self.thread.thread_id}", "op",
+                self._op_started_at, self.sim.now, args,
+            )
         self.smart.avoider.end_op()
         self._op_started_at = None
 

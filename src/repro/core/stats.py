@@ -5,11 +5,22 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, List, Optional
 
+from repro.obs.metrics import LogHistogram
 from repro.sim.rng import percentile
 
 
 class OperationStats:
-    """Throughput / latency / retry accounting for one client thread."""
+    """Throughput / latency / retry accounting for one client thread.
+
+    Latency keeps two complementary representations:
+
+    * ``latencies_ns`` — a strided sample reservoir (every
+      ``_sample_stride``-th op; the stride doubles when the reservoir
+      fills), giving exact per-sample percentiles for short runs;
+    * ``latency_hist`` — a log-bucketed :class:`LogHistogram` fed by
+      *every* op in fixed memory, which merges exactly across threads
+      and backs the metrics registry.
+    """
 
     MAX_LATENCY_SAMPLES = 200_000
 
@@ -20,6 +31,15 @@ class OperationStats:
         self.retry_histogram: Counter = Counter()
         self.latencies_ns: List[float] = []
         self._sample_stride = 1
+        #: per-sample op weights (parallel to ``latencies_ns``); ``None``
+        #: until a merge mixes parts with different strides
+        self._sample_weights: Optional[List[int]] = None
+        #: cached ascending copy of ``latencies_ns`` (+ aligned weights);
+        #: invalidated on every append so percentile queries sort once
+        self._sorted: Optional[List[float]] = None
+        self._sorted_weights: Optional[List[int]] = None
+        #: fixed-memory histogram of every recorded latency
+        self.latency_hist = LogHistogram()
         #: ops aborted by a fault completion (flush / remote-abort /
         #: retry-exceeded) — the wasted-IOPS side of fault injection
         self.fault_aborts = 0
@@ -39,11 +59,20 @@ class OperationStats:
         self.retry_histogram[min(retries, 32)] += 1
         if failed:
             self.failed_ops += 1
+        self.latency_hist.record(latency_ns)
         if self.ops % self._sample_stride == 0:
+            self._sorted = None
+            self._sorted_weights = None
             self.latencies_ns.append(latency_ns)
+            if self._sample_weights is not None:
+                self._sample_weights.append(self._sample_stride)
             if len(self.latencies_ns) >= self.MAX_LATENCY_SAMPLES:
                 # Keep every other sample and double the stride.
                 self.latencies_ns = self.latencies_ns[::2]
+                if self._sample_weights is not None:
+                    self._sample_weights = [
+                        w * 2 for w in self._sample_weights[::2]
+                    ]
                 self._sample_stride *= 2
 
     def record_fault_abort(self) -> None:
@@ -66,7 +95,16 @@ class OperationStats:
 
     @staticmethod
     def merge(parts: List["OperationStats"]) -> "OperationStats":
+        """Aggregate thread-local stats.
+
+        Latency samples are weighted by each part's ``_sample_stride``
+        (one retained sample stands for ``stride`` ops), so merged
+        percentiles are unbiased even when some threads downsampled and
+        others did not.  The merged reservoir is stored pre-sorted and
+        the sort is cached for subsequent percentile queries.
+        """
         total = OperationStats()
+        pairs: List = []
         for part in parts:
             total.ops += part.ops
             total.retries += part.retries
@@ -76,8 +114,20 @@ class OperationStats:
             total.failed_recoveries += part.failed_recoveries
             total.recovery_latencies_ns.extend(part.recovery_latencies_ns)
             total.retry_histogram.update(part.retry_histogram)
-            total.latencies_ns.extend(part.latencies_ns)
-        total.latencies_ns.sort()
+            total.latency_hist.merge(part.latency_hist)
+            if part._sample_weights is not None:
+                pairs.extend(zip(part.latencies_ns, part._sample_weights))
+            else:
+                stride = part._sample_stride
+                pairs.extend((latency, stride) for latency in part.latencies_ns)
+            total._sample_stride = max(total._sample_stride, part._sample_stride)
+        pairs.sort()
+        total.latencies_ns = [latency for latency, _ in pairs]
+        total._sample_weights = [weight for _, weight in pairs]
+        # Reuse the sort: percentile queries on the merged stats hit the
+        # cache instead of re-sorting the concatenated reservoirs.
+        total._sorted = list(total.latencies_ns)
+        total._sorted_weights = list(total._sample_weights)
         total.recovery_latencies_ns.sort()
         return total
 
@@ -91,10 +141,36 @@ class OperationStats:
             return 0.0
         return sum(self.recovery_latencies_ns) / len(self.recovery_latencies_ns)
 
+    def _ordered_samples(self):
+        """Sorted samples (+ aligned weights), cached until the next append."""
+        n = len(self.latencies_ns)
+        if self._sorted is not None and len(self._sorted) == n:
+            return self._sorted, self._sorted_weights
+        weights = self._sample_weights
+        if weights is not None and len(weights) == n:
+            pairs = sorted(zip(self.latencies_ns, weights))
+            self._sorted = [latency for latency, _ in pairs]
+            self._sorted_weights = [weight for _, weight in pairs]
+        else:
+            self._sorted = sorted(self.latencies_ns)
+            self._sorted_weights = None
+        return self._sorted, self._sorted_weights
+
     def latency_percentile_ns(self, fraction: float) -> Optional[float]:
         if not self.latencies_ns:
             return None
-        return percentile(sorted(self.latencies_ns), fraction)
+        ordered, weights = self._ordered_samples()
+        if weights is None or all(w == weights[0] for w in weights):
+            # Uniform weights: identical to the plain nearest-rank result.
+            return percentile(ordered, fraction)
+        total_weight = sum(weights)
+        target = fraction * total_weight
+        cumulative = 0
+        for latency, weight in zip(ordered, weights):
+            cumulative += weight
+            if cumulative >= target:
+                return latency
+        return ordered[-1]
 
     def retry_distribution(self) -> Dict[int, float]:
         """Fraction of ops by retry count (Fig 14c)."""

@@ -84,6 +84,12 @@ class FaultInjector:
             return  # overlapping schedules: already down
         self.crashes_fired += 1
         node.crash()
+        recorder = getattr(self.cluster, "recorder", None)
+        if recorder is not None:
+            recorder.instant(
+                "faults", "blades", "blade_crash", self.cluster.sim.now,
+                {"node": crash.node_id, "downtime_ns": crash.downtime_ns},
+            )
         self.cluster.sim.call_after(crash.downtime_ns, self._restart, crash.node_id)
 
     def _restart(self, node_id: int) -> None:
@@ -92,6 +98,12 @@ class FaultInjector:
             return
         node.restart()
         self.restarts_fired += 1
+        recorder = getattr(self.cluster, "recorder", None)
+        if recorder is not None:
+            recorder.instant(
+                "faults", "blades", "blade_restart", self.cluster.sim.now,
+                {"node": node_id},
+            )
         if self.auto_reset_qps:
             for peer in self.cluster.nodes:
                 for context in peer.device.contexts:

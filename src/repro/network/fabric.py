@@ -67,6 +67,8 @@ class Fabric:
         #: seeded RNG owned by the fault injector; only consulted while a
         #: fault window is active, so fault-free runs never draw from it
         self.fault_rng: Optional[random.Random] = None
+        #: optional :class:`repro.obs.tracing.TraceRecorder` for fault instants
+        self.recorder = None
         # Fault statistics
         self.messages_dropped = 0
         self.messages_duplicated = 0
@@ -120,4 +122,10 @@ class Fabric:
             self.messages_dropped += 1
         if duplicated:
             self.messages_duplicated += 1
+        if self.recorder is not None and (dropped or duplicated):
+            name = "message_dropped" if dropped else "message_duplicated"
+            self.recorder.instant(
+                "fabric", "links", name, now,
+                {"src": src, "dst": dst, "bytes": payload_bytes},
+            )
         return delay, dropped, duplicated

@@ -1,0 +1,250 @@
+"""Named metrics: counters, gauges and log-bucketed latency histograms.
+
+The registry is the fixed-memory replacement for ad-hoc sample lists:
+a :class:`LogHistogram` keeps HDR-style logarithmic buckets (bounded
+relative error, ~2% at the default resolution) in O(log(max value))
+memory regardless of how many values are recorded, and two histograms
+merge exactly by adding bucket counts — the property thread-local stats
+aggregation needs and plain percentile-sample lists lack.
+
+Everything here is simulation-passive: recording a metric never touches
+the event loop or any RNG, so instrumented runs produce bit-identical
+simulated results.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+
+class LogHistogram:
+    """Log-bucketed histogram with fixed memory and exact merging.
+
+    Values (nanoseconds, but any non-negative quantity works) map to
+    bucket ``round(log2(value) * sub_buckets)``; the representative value
+    of a bucket is the inverse ``2 ** (index / sub_buckets)``, so any
+    reported percentile is within a factor ``2 ** (1 / (2*sub_buckets))``
+    (~2.2% at the default 16) of the true sample.  ``count``/``sum``/
+    ``min``/``max`` are tracked exactly.
+    """
+
+    __slots__ = ("sub_buckets", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, sub_buckets: int = 16):
+        if sub_buckets <= 0:
+            raise ValueError("sub_buckets must be positive")
+        self.sub_buckets = sub_buckets
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def _index(self, value: float) -> int:
+        if value <= 1.0:
+            return 0
+        return int(round(math.log2(value) * self.sub_buckets))
+
+    def bucket_value(self, index: int) -> float:
+        """Representative (geometric center) value of a bucket."""
+        return 2.0 ** (index / self.sub_buckets)
+
+    def record(self, value: float, weight: int = 1) -> None:
+        if value < 0:
+            raise ValueError(f"negative value: {value}")
+        if weight <= 0:
+            raise ValueError(f"weight must be positive: {weight}")
+        index = self._index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + weight
+        self.count += weight
+        self.total += value * weight
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Fold ``other`` into this histogram (exact; returns self)."""
+        if other.sub_buckets != self.sub_buckets:
+            raise ValueError(
+                f"cannot merge histograms with different resolutions "
+                f"({self.sub_buckets} vs {other.sub_buckets})"
+            )
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max, other.max)
+        return self
+
+    @staticmethod
+    def merged(parts: Iterable["LogHistogram"]) -> "LogHistogram":
+        parts = list(parts)
+        total = LogHistogram(parts[0].sub_buckets if parts else 16)
+        for part in parts:
+            total.merge(part)
+        return total
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> Optional[float]:
+        """Nearest-rank percentile (bucket-representative value)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if self.count == 0:
+            return None
+        target = max(1, math.ceil(fraction * self.count))
+        cumulative = 0
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative >= target:
+                # Clamp to the exact extrema so p0/p100 are not distorted
+                # by bucket quantization.
+                value = self.bucket_value(index)
+                return min(max(value, self.min), self.max)
+        return self.max  # pragma: no cover - cumulative always reaches count
+
+    def to_dict(self) -> Dict:
+        return {
+            "sub_buckets": self.sub_buckets,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p99": self.percentile(0.99),
+            "p999": self.percentile(0.999),
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+    @staticmethod
+    def from_dict(data: Dict) -> "LogHistogram":
+        hist = LogHistogram(data["sub_buckets"])
+        hist.buckets = {int(k): v for k, v in data["buckets"].items()}
+        hist.count = data["count"]
+        hist.total = data["sum"]
+        hist.min = data["min"]
+        hist.max = data["max"]
+        return hist
+
+    def __repr__(self) -> str:
+        return f"LogHistogram(count={self.count}, mean={self.mean:.1f})"
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    __slots__ = ("name", "unit", "value")
+
+    def __init__(self, name: str, unit: str = ""):
+        self.name = name
+        self.unit = unit
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A named point-in-time value."""
+
+    __slots__ = ("name", "unit", "value")
+
+    def __init__(self, name: str, unit: str = ""):
+        self.name = name
+        self.unit = unit
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class MetricsRegistry:
+    """Name-indexed counters, gauges and histograms for one run.
+
+    Names are dotted paths (``rnic0.wqe_processed``,
+    ``ops.latency_ns``); asking for an existing name returns the same
+    instrument, asking with a conflicting kind raises.
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, LogHistogram] = {}
+
+    def _check_free(self, name: str, kind: Dict) -> None:
+        for owner, instruments in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if instruments is not kind and name in instruments:
+                raise ValueError(f"{name!r} is already registered as a {owner}")
+
+    def counter(self, name: str, unit: str = "") -> Counter:
+        existing = self._counters.get(name)
+        if existing is None:
+            self._check_free(name, self._counters)
+            existing = self._counters[name] = Counter(name, unit)
+        return existing
+
+    def gauge(self, name: str, unit: str = "") -> Gauge:
+        existing = self._gauges.get(name)
+        if existing is None:
+            self._check_free(name, self._gauges)
+            existing = self._gauges[name] = Gauge(name, unit)
+        return existing
+
+    def histogram(self, name: str, sub_buckets: int = 16) -> LogHistogram:
+        existing = self._histograms.get(name)
+        if existing is None:
+            self._check_free(name, self._histograms)
+            existing = self._histograms[name] = LogHistogram(sub_buckets)
+        return existing
+
+    def adopt_histogram(self, name: str, hist: LogHistogram) -> LogHistogram:
+        """Register an externally built histogram (merged if one exists)."""
+        existing = self._histograms.get(name)
+        if existing is None:
+            self._check_free(name, self._histograms)
+            self._histograms[name] = hist
+            return hist
+        return existing.merge(hist)
+
+    def names(self) -> Dict[str, str]:
+        kinds = {}
+        kinds.update({n: "counter" for n in self._counters})
+        kinds.update({n: "gauge" for n in self._gauges})
+        kinds.update({n: "histogram" for n in self._histograms})
+        return kinds
+
+    def to_dict(self) -> Dict:
+        return {
+            "counters": {
+                name: {"value": c.value, "unit": c.unit}
+                for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: {"value": g.value, "unit": g.unit}
+                for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.to_dict() for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def write_json(self, path) -> Path:
+        path = Path(path)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path

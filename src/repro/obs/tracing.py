@@ -1,0 +1,164 @@
+"""Structured span/event tracing over the simulated timeline.
+
+:class:`TraceRecorder` is a bounded ring buffer of *spans* (an interval
+on a named track) and *instants* (a point event).  Tracks are
+``(process, lane)`` pairs — one process per device/engine/client group,
+one lane per pipeline inside it — which the Chrome-trace exporter
+(:mod:`repro.obs.export`) turns into Perfetto tracks.
+
+:class:`SpanTracer` generalizes :class:`repro.rnic.trace.Tracer`: it
+keeps the exact stage-timestamp API (so ``summary()`` and every existing
+caller still work) and additionally emits one span per pipeline segment
+— posted→issued→remote_start→executed→completed — onto the recorder the
+moment a batch completes.
+
+Recording never schedules simulator events and never draws randomness:
+attaching a recorder cannot change a single simulated number, and with
+no recorder attached the instrumented code paths reduce to one
+``is not None`` check (the fault-free fast-path rule).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.rnic.trace import STAGES, Tracer
+
+#: (segment name, start stage, end stage) — the batch lifecycle pipeline.
+SEGMENTS: Tuple[Tuple[str, str, str], ...] = (
+    ("post_to_issue", "posted", "issued"),
+    ("issue_to_remote", "issued", "remote_start"),
+    ("remote_queue_and_exec", "remote_start", "executed"),
+    ("return_flight", "executed", "completed"),
+)
+
+#: lane names, one per lifecycle segment, grouped under the device track
+SEGMENT_LANES: Dict[str, str] = {
+    "post_to_issue": "requester",
+    "issue_to_remote": "wire-out",
+    "remote_queue_and_exec": "responder",
+    "return_flight": "wire-back",
+}
+
+
+class TraceEvent:
+    """One recorded span or instant."""
+
+    __slots__ = ("phase", "track", "lane", "name", "ts", "dur", "args")
+
+    SPAN = "X"
+    INSTANT = "i"
+
+    def __init__(self, phase: str, track: str, lane: str, name: str,
+                 ts: float, dur: float = 0.0, args: Optional[Dict] = None):
+        self.phase = phase
+        self.track = track
+        self.lane = lane
+        self.name = name
+        self.ts = ts
+        self.dur = dur
+        self.args = args
+
+    def __repr__(self) -> str:
+        return (f"TraceEvent({self.phase}, {self.track}/{self.lane}, "
+                f"{self.name!r}, ts={self.ts}, dur={self.dur})")
+
+
+class TraceRecorder:
+    """Bounded ring buffer of trace events (oldest evicted first)."""
+
+    def __init__(self, capacity: int = 200_000):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        #: events evicted because the ring was full
+        self.dropped = 0
+
+    def _append(self, event: TraceEvent) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+
+    def span(self, track: str, lane: str, name: str, start_ns: float,
+             end_ns: float, args: Optional[Dict] = None) -> None:
+        """Record an interval [start_ns, end_ns] on ``track/lane``."""
+        if end_ns < start_ns:
+            raise ValueError(f"span ends before it starts: {start_ns}..{end_ns}")
+        self._append(TraceEvent(TraceEvent.SPAN, track, lane, name,
+                                start_ns, end_ns - start_ns, args))
+
+    def instant(self, track: str, lane: str, name: str, ts_ns: float,
+                args: Optional[Dict] = None) -> None:
+        """Record a point event at ``ts_ns`` on ``track/lane``."""
+        self._append(TraceEvent(TraceEvent.INSTANT, track, lane, name,
+                                ts_ns, 0.0, args))
+
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def spans(self, name: Optional[str] = None) -> List[TraceEvent]:
+        return [e for e in self._events
+                if e.phase == TraceEvent.SPAN and (name is None or e.name == name)]
+
+    def instants(self, name: Optional[str] = None) -> List[TraceEvent]:
+        return [e for e in self._events
+                if e.phase == TraceEvent.INSTANT and (name is None or e.name == name)]
+
+    def tracks(self) -> List[Tuple[str, str]]:
+        """Distinct (track, lane) pairs in recording order."""
+        seen = {}
+        for event in self._events:
+            seen.setdefault((event.track, event.lane), None)
+        return list(seen)
+
+
+class SpanTracer(Tracer):
+    """A :class:`repro.rnic.trace.Tracer` that also emits timeline spans.
+
+    Drop-in for ``device.tracer``: stage recording, ``summary()`` and the
+    eviction/dropped accounting behave exactly like the base class.  When
+    the ``completed`` stage of a batch lands, the four lifecycle segments
+    are emitted as spans grouped under ``track`` (one lane per pipeline
+    stage), with all five raw stage timestamps attached as span args.
+    """
+
+    def __init__(self, recorder: TraceRecorder, track: str,
+                 capacity: int = 10_000):
+        super().__init__(capacity)
+        self.recorder = recorder
+        self.track = track
+
+    def record(self, batch_id: int, stage: str, now) -> None:
+        super().record(batch_id, stage, now)
+        if stage != "completed":
+            return
+        timestamps = self._batches.get(batch_id)
+        if timestamps is None or len(timestamps) != len(STAGES):
+            return
+        recorder = self.recorder
+        for name, start, end in SEGMENTS:
+            recorder.span(self.track, SEGMENT_LANES[name], name,
+                          timestamps[start], timestamps[end],
+                          {"batch": batch_id})
+        # The whole-lifecycle span carries every raw stage timestamp.
+        recorder.span(self.track, "batches", "batch",
+                      timestamps["posted"], timestamps["completed"],
+                      dict(timestamps, batch=batch_id))
+
+
+def merge_summaries(summaries) -> Optional[Dict[str, float]]:
+    """Batch-weighted mean of several ``Tracer.summary()`` dicts."""
+    summaries = [s for s in summaries if s]
+    if not summaries:
+        return None
+    total_batches = sum(s["batches"] for s in summaries)
+    merged = {"batches": total_batches}
+    for name, _, _ in SEGMENTS:
+        merged[name] = sum(s[name] * s["batches"] for s in summaries) / total_batches
+    merged["total"] = sum(s["total"] * s["batches"] for s in summaries) / total_batches
+    return merged

@@ -1,0 +1,109 @@
+"""Validate an emitted trace file against the Chrome trace-event shape.
+
+Used by CI to guarantee every ``--trace`` artifact actually loads in
+Perfetto / ``chrome://tracing``::
+
+    python -m repro.obs.validate trace.json \
+        --expect-spans post_to_issue,issue_to_remote \
+        --expect-instants retransmit
+
+Exit status 0 means the file is a structurally valid trace containing
+every expected span/instant name; 1 lists what failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+_PHASES = {"X", "i", "I", "M", "C", "B", "E"}
+_REQUIRED_KEYS = ("ph", "name", "pid", "tid")
+
+
+def validate_chrome_trace(trace: Dict,
+                          expect_spans: Optional[List[str]] = None,
+                          expect_instants: Optional[List[str]] = None) -> List[str]:
+    """Structural checks; returns a list of problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        return ["top level must be an object with a 'traceEvents' array"]
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be an array"]
+    span_names = set()
+    instant_names = set()
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        missing = [k for k in _REQUIRED_KEYS if k not in event]
+        if missing:
+            problems.append(f"event {i}: missing keys {missing}")
+            continue
+        phase = event["ph"]
+        if phase not in _PHASES:
+            problems.append(f"event {i}: unknown phase {phase!r}")
+            continue
+        if phase != "M" and "ts" not in event:
+            problems.append(f"event {i}: non-metadata event without 'ts'")
+            continue
+        if phase == "X":
+            if "dur" not in event:
+                problems.append(f"event {i}: complete event without 'dur'")
+            elif event["dur"] < 0:
+                problems.append(f"event {i}: negative duration")
+            span_names.add(event["name"])
+        elif phase in ("i", "I"):
+            instant_names.add(event["name"])
+    for name in expect_spans or []:
+        if name not in span_names:
+            problems.append(f"expected span {name!r} not present "
+                            f"(have: {sorted(span_names)})")
+    for name in expect_instants or []:
+        if name not in instant_names:
+            problems.append(f"expected instant {name!r} not present "
+                            f"(have: {sorted(instant_names)})")
+    return problems
+
+
+def _split(raw: Optional[str]) -> List[str]:
+    return [part for part in (raw or "").split(",") if part]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs-validate",
+        description="check a --trace artifact against the Chrome trace-event shape",
+    )
+    parser.add_argument("path", help="trace JSON file to validate")
+    parser.add_argument("--expect-spans", default="", metavar="NAMES",
+                        help="comma-separated span names that must appear")
+    parser.add_argument("--expect-instants", default="", metavar="NAMES",
+                        help="comma-separated instant names that must appear")
+    args = parser.parse_args(argv)
+    try:
+        with open(args.path) as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"{args.path}: not loadable as JSON: {error}", file=sys.stderr)
+        return 1
+    problems = validate_chrome_trace(
+        trace, _split(args.expect_spans), _split(args.expect_instants)
+    )
+    if problems:
+        for problem in problems:
+            print(f"{args.path}: {problem}", file=sys.stderr)
+        return 1
+    events = trace["traceEvents"]
+    spans = sum(1 for e in events if e.get("ph") == "X")
+    instants = sum(1 for e in events if e.get("ph") in ("i", "I"))
+    tracks = len({e.get("pid") for e in events})
+    print(f"{args.path}: ok — {len(events)} events "
+          f"({spans} spans, {instants} instants) on {tracks} tracks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

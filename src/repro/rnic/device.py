@@ -91,6 +91,8 @@ class RnicDevice:
         self.outstanding = 0
         #: optional :class:`repro.rnic.trace.Tracer` for batch lifecycles
         self.tracer = None
+        #: optional :class:`repro.obs.tracing.TraceRecorder` for instants
+        self.recorder = None
         #: QPs created by remote peers that terminate at this device
         self.accepted_qps = 0
 
@@ -143,6 +145,11 @@ class RnicDevice:
             self.counters.flushed_wrs += len(batch)
         else:
             self.counters.error_completions += len(batch)
+        if self.recorder is not None:
+            self.recorder.instant(
+                self.name, "faults", "batch_failed", self.sim.now,
+                {"batch": batch.batch_id, "status": status, "wrs": len(batch)},
+            )
         if delay_ns > 0:
             self.sim.call_after(delay_ns, self.complete, batch)
         else:

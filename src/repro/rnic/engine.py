@@ -76,8 +76,17 @@ class RequesterEngine:
         # WRITE payloads are DMA-read from host DRAM before transmission.
         counters.dram_bytes += n * wqe_dma_per_wr + batch.write_bytes
 
+        if device.recorder is not None and wqe_miss > 0.0:
+            device.recorder.instant(
+                device.name, "requester", "wqe_cache_miss", sim.now,
+                {"batch": batch.batch_id, "miss_rate": round(wqe_miss, 4),
+                 "outstanding": outstanding},
+            )
         if device.tracer is not None:
-            device.tracer.record(batch.batch_id, "issued", int(finish))
+            # Every other stage records sim.now, which the event loop
+            # quantizes with round() — truncating here instead skewed the
+            # post_to_issue/issue_to_remote split by up to 1 ns per batch.
+            device.tracer.record(batch.batch_id, "issued", int(round(finish)))
         self._transmit(batch, finish, 0)
 
     def _transmit(self, batch: WorkBatch, ready_ns: float, attempt: int) -> None:
@@ -117,6 +126,11 @@ class RequesterEngine:
                 )
                 return
             counters.retransmissions += len(batch)
+            if device.recorder is not None:
+                device.recorder.instant(
+                    device.name, "wire-out", "retransmit", ready_ns,
+                    {"batch": batch.batch_id, "attempt": attempt + 1},
+                )
             sim.call_at(
                 ready_ns + config.retransmit_timeout_ns,
                 self._retransmit,
@@ -219,6 +233,11 @@ class ResponderEngine:
             # just pays the ack timeout plus the resent message.
             origin.counters.retransmissions += len(batch)
             origin.counters.wasted_wire_bytes += batch.wire_bytes
+            if origin.recorder is not None:
+                origin.recorder.instant(
+                    origin.name, "wire-back", "retransmit", sim.now,
+                    {"batch": batch.batch_id, "lost": "ack"},
+                )
             delay += origin.config.retransmit_timeout_ns
         sim.call_at(sim.now + delay, origin.complete, batch)
 

@@ -241,7 +241,13 @@ class QueuePair:
             return
         self.state = QueuePair.STATE_ERROR
         self.error_cause = cause
-        self.context.device.counters.qp_errors += 1
+        device = self.context.device
+        device.counters.qp_errors += 1
+        if device.recorder is not None:
+            device.recorder.instant(
+                device.name, "faults", "qp_error", device.sim.now,
+                {"qp": self.qp_id, "cause": cause},
+            )
 
     def reset(self) -> None:
         """Reconnect an ERROR QP (destroy + re-create, back to RTS)."""

@@ -52,10 +52,17 @@ def post_send(thread, qp: QueuePair, wrs: List[WorkRequest]) -> Generator:
         yield from thread.compute(qp.sharing_penalty_ns(config))
     doorbell = qp.doorbell
     doorbell.note_user(thread_id)
+    wait_start = device.sim.now
     yield doorbell.lock.acquire()
     # The wait above was a spin: the thread's CPU was burning the whole
     # time, so bring its watermark up to now before the locked section.
     thread.mark_busy_until_now()
+    if device.recorder is not None and device.sim.now > wait_start:
+        device.recorder.instant(
+            device.name, "requester", "doorbell_stall", device.sim.now,
+            {"doorbell": doorbell.index, "thread": thread_id,
+             "stall_ns": device.sim.now - wait_start},
+        )
     yield from thread.compute(doorbell.held_cost_ns(config, len(wrs)))
     doorbell.lock.release()
     if qp.share_lock is not None:

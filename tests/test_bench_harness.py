@@ -5,7 +5,7 @@ import pytest
 
 from repro.apps.common import RemoteAllocator
 from repro.bench.microbench import MicrobenchResult, run_microbench
-from repro.bench.report import format_table, ratio
+from repro.bench.report import format_table, ratio, result_slug
 from repro.bench.runner import (
     bench_features,
     build_deployment,
@@ -30,6 +30,16 @@ class TestReport:
     def test_ratio_handles_zero(self):
         assert ratio(10, 2) == 5.0
         assert ratio(10, 0) == 0.0
+
+    def test_result_slug_basic(self):
+        assert result_slug("Figure 3 (read): IOPS") == "figure-3-read-iops"
+
+    def test_result_slug_never_empty(self):
+        """Regression: names with no alphanumerics used to slug to "",
+        producing hidden artifact files like ".txt"."""
+        assert result_slug("") == "experiment"
+        assert result_slug("!!! ???") == "experiment"
+        assert result_slug("---") == "experiment"
 
 
 class TestMicrobench:

@@ -42,6 +42,46 @@ class TestTracerUnit:
     def test_summary_none_when_empty(self):
         assert Tracer().summary() is None
 
+    def test_eviction_drops_oldest_batch(self):
+        tracer = Tracer(capacity=2)
+        for batch_id in (1, 2, 3):
+            for offset, stage in enumerate(STAGES):
+                tracer.record(batch_id, stage, batch_id * 100 + offset)
+        assert tracer.dropped == 1
+        kept = [t["posted"] for t in tracer.complete_batches()]
+        assert kept == [200, 300]
+
+    def test_summary_exact_segment_math(self):
+        tracer = Tracer()
+        # Two batches with known per-segment gaps.
+        for batch_id, base, step in ((1, 0, 10), (2, 1000, 30)):
+            for offset, stage in enumerate(STAGES):
+                tracer.record(batch_id, stage, base + offset * step)
+        summary = tracer.summary()
+        assert summary["batches"] == 2.0
+        # Mean of 10 and 30 per segment; total = 4 segments.
+        for segment in ("post_to_issue", "issue_to_remote",
+                        "remote_queue_and_exec", "return_flight"):
+            assert summary[segment] == 20.0
+        assert summary["total"] == 80.0
+
+    def test_incomplete_batches_excluded_from_summary(self):
+        tracer = Tracer()
+        for offset, stage in enumerate(STAGES):
+            tracer.record(1, stage, offset * 10)
+        tracer.record(2, "posted", 500)  # never completes
+        summary = tracer.summary()
+        assert summary["batches"] == 1.0
+        assert len(tracer.complete_batches()) == 1
+
+    def test_pre_tracer_batch_tail_stages_all_ignored(self):
+        tracer = Tracer()
+        # Every non-"posted" stage of an unknown batch is dropped.
+        for stage in STAGES[1:]:
+            tracer.record(9, stage, 100)
+        assert tracer.complete_batches() == []
+        assert 9 not in tracer._batches
+
 
 class TestEndToEndTracing:
     def test_full_lifecycle_recorded(self):
@@ -87,3 +127,26 @@ class TestEndToEndTracing:
         # Flight segments each carry one propagation delay.
         assert summary["issue_to_remote"] >= cluster.config.one_way_latency_ns
         assert summary["return_flight"] >= cluster.config.one_way_latency_ns
+
+    def test_tracer_attached_mid_run_ignores_inflight_batches(self):
+        cluster, compute, remote = traced_cluster(threads=1)
+        compute.device.tracer = None
+        thread = compute.threads[0]
+
+        def proc():
+            qp = thread.qp_for(remote.node_id)
+            addr = remote.storage.global_addr(0)
+            for _ in range(6):
+                yield from verbs.post_and_wait(thread, qp, [read_wr(addr, 8)])
+
+        cluster.sim.spawn(proc())
+        # Run a slice, then attach: batches in flight at attach time have
+        # no "posted" record, so their tail stages must be dropped.
+        cluster.sim.run(until=2500)
+        compute.device.tracer = Tracer()
+        cluster.sim.run()
+        complete = compute.device.tracer.complete_batches()
+        assert 0 < len(complete) < 6
+        for timestamps in complete:
+            ordered = [timestamps[s] for s in STAGES]
+            assert ordered == sorted(ordered)
