@@ -1,0 +1,11 @@
+"""Correctness tooling: RDMASan (remote-memory race sanitizer) and the
+simulation-hygiene lint (``python -m repro.analysis.lint``).
+
+Both halves are passive and off by default: a cluster without an attached
+sanitizer runs byte-identically to a tree without this package, the same
+bar :mod:`repro.obs` meets.
+"""
+
+from repro.analysis.rdmasan import RdmaSanitizer
+
+__all__ = ["RdmaSanitizer"]

@@ -133,6 +133,29 @@ class DtxServer:
                 return node
         raise KeyError(blade_id)
 
+    def declare_sanitizer_regions(self, sanitizer) -> None:
+        """Teach RDMASan FORD's protocol.
+
+        Every record is ``[lock u64][version u64][payload]``; reads are
+        version-validated (optimistic), so all table partitions are
+        ``optimistic-read``.  Primaries carry a striped lock table — a
+        record write must hold that record's lock word — while backups
+        have no covering lock: the primary lock serializes their writers,
+        which the overlap detector verifies directly.  Log rings keep the
+        default exclusive policy (one writer per ring)."""
+        for info in self.tables.values():
+            for i, (blade_id, base) in enumerate(info.primary_bases):
+                sanitizer.set_region_policy(blade_id, f"tbl_{info.name}_p{i}",
+                                            "optimistic-read")
+                region = self._node(blade_id).storage.region(f"tbl_{info.name}_p{i}")
+                sanitizer.declare_striped_locks(
+                    blade_id, region.base, region.end, info.record_bytes,
+                    lock_offset=0, span=info.record_bytes,
+                )
+            for i, (blade_id, base) in enumerate(info.backup_bases):
+                sanitizer.set_region_policy(blade_id, f"tbl_{info.name}_b{i}",
+                                            "optimistic-read")
+
     def alloc_log_ring(self) -> Tuple[int, int]:
         """A per-client undo-log ring in NVM; returns (global addr, size)."""
         node = self.memory_nodes[self._log_count % len(self.memory_nodes)]

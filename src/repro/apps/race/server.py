@@ -13,7 +13,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.apps.race import layout
 from repro.cluster import Node
-from repro.memory.address import make_addr
+from repro.memory.address import blade_of, make_addr, offset_of
 
 
 @dataclass
@@ -114,6 +114,16 @@ class HashTableServer:
             local_depths=[self.global_depth] * len(self.segment_addrs),
             heaps=dict(self.heaps),
         )
+
+    def declare_sanitizer_regions(self, sanitizer) -> None:
+        """Teach RDMASan this table's protocol: the directory and segment
+        lock words.  Everything else keeps the default exclusive policy —
+        RACE publishes fresh KV blocks with a slot CAS only after their
+        writes complete, so no data bytes are ever concurrently written."""
+        primary = self.memory_nodes[0]
+        sanitizer.declare_lock_word(primary.node_id, self._dir_region.base + 16)
+        for seg_addr in self.segment_addrs:
+            sanitizer.declare_lock_word(blade_of(seg_addr), offset_of(seg_addr) + 8)
 
     # -- bulk loading -----------------------------------------------------------------
 

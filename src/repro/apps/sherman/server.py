@@ -112,6 +112,23 @@ class BTreeServer:
         primary.write_u64(self._meta_region.base + 8, self.height)
         primary.write_u64(self._meta_region.base + 16, 0)
 
+    def declare_sanitizer_regions(self, sanitizer) -> None:
+        """Teach RDMASan Sherman's protocol.
+
+        Node reads are lockless and version-validated (re-read on a torn
+        level/fence), so the heaps and the meta block are
+        ``optimistic-read``.  Node locks are NOT declared as a striped
+        table: with HOPL the remote lock word's holder is whoever CASed
+        it first, while handover passes the write right locally — a
+        remote-holder discipline check would be wrong by design.  Writers
+        are still serialized (write_sync completes before the release or
+        the local handover), which the overlap detector verifies as-is."""
+        primary = self.memory_nodes[0]
+        sanitizer.set_region_policy(primary.node_id, "bt_meta", "optimistic-read")
+        sanitizer.declare_lock_word(primary.node_id, self._meta_region.base + 16)
+        for node in self.memory_nodes:
+            sanitizer.set_region_policy(node.node_id, "bt_heap", "optimistic-read")
+
     # -- bootstrap -----------------------------------------------------------------
 
     def meta(self) -> TreeMeta:

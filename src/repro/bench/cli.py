@@ -57,6 +57,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--fault-seed", type=int, default=0,
                         help="seed for the fault schedule / per-message draws "
                              "(same seed replays a faulty run bit-identically)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="attach RDMASan (remote-memory race sanitizer); "
+                             "exits 1 when any finding is reported")
     parser.add_argument("--dump-file-path", default=None,
                         help="append a CSV result line to this file")
     parser.add_argument("--trace", default=None, metavar="PATH",
@@ -89,9 +92,9 @@ def run_figures(args) -> int:
         return 2
     jobs = args.jobs if args.jobs is not None else default_jobs()
     for name in names:
-        started = time.time()
+        started = time.time()  # lint: disable=SIM001 (host wall clock)
         result = ALL_EXPERIMENTS[name](jobs=jobs)
-        wall_s = time.time() - started
+        wall_s = time.time() - started  # lint: disable=SIM001 (host wall clock)
         print(result.format())
         print(f"[{name}] wall time={wall_s:.1f} s (jobs={jobs})")
         print()
@@ -132,7 +135,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.obs import Observability
 
         obs = Observability()
-    started = time.time()
+    started = time.time()  # lint: disable=SIM001 (host wall clock)
     result = run_microbench(
         policy=args.policy,
         threads=args.threads,
@@ -145,9 +148,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         faults=args.faults,
         fault_seed=args.fault_seed,
         obs=obs,
+        sanitize=args.sanitize,
     )
     bandwidth_mbps = result.throughput_mops * args.block_size
-    wall_ms = (time.time() - started) * 1e3
+    wall_ms = (time.time() - started) * 1e3  # lint: disable=SIM001 (host wall clock)
     print(
         f"rdma-{args.op}: #threads={args.threads}, #depth={args.depth}, "
         f"#block_size={args.block_size}, BW={bandwidth_mbps:.3f} MB/s, "
@@ -183,6 +187,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         for path in (args.trace, args.metrics_out):
             if path:
                 print(f"wrote {path}")
+    if result.sanitizer is not None:
+        report = result.sanitizer
+        print(
+            f"rdmasan: ops_checked={report['ops_checked']}, "
+            f"findings={len(report['findings'])}, leaks={len(report['leaks'])}"
+        )
+        for finding in report["findings"]:
+            print(f"  {finding['kind']}: blade={finding['blade']} "
+                  f"region={finding['region']} addr={finding['addr']:#x} "
+                  f"bytes={finding['bytes']}")
+        if report["findings"]:
+            return 1
     return 0
 
 

@@ -63,6 +63,8 @@ class MicrobenchResult:
     #: batch-weighted per-segment means (only when an Observability is
     #: attached; None keeps fault-free results byte-identical)
     phase_breakdown: Optional[dict] = None
+    #: RDMASan report (only when the run was sanitized; None otherwise)
+    sanitizer: Optional[dict] = None
 
     def __str__(self) -> str:
         return (
@@ -119,6 +121,7 @@ def run_microbench(
     faults=None,
     fault_seed: int = 0,
     obs=None,
+    sanitize=False,
 ) -> MicrobenchResult:
     """Run the bench tool at one (policy, threads, depth) point.
 
@@ -184,6 +187,9 @@ def run_microbench(
         obs.attach_cluster(cluster)
         if smart_threads:
             obs.attach_smart_threads(smart_threads)
+    from repro.bench.runner import attach_sanitizer
+
+    sanitizer = attach_sanitizer(sanitize, cluster)
 
     latencies: List[float] = []
     sim = cluster.sim
@@ -258,6 +264,9 @@ def run_microbench(
                 [s.stats for s in smart_threads]
             ))
         result.phase_breakdown = obs.phase_breakdown(cluster)
+    if sanitizer is not None:
+        sanitizer.finish()
+        result.sanitizer = sanitizer.report()
     return result
 
 

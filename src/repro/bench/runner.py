@@ -80,6 +80,8 @@ class RunResult:
     #: batch-weighted per-segment means (only when an Observability is
     #: attached; stays None — and out of serialized results — otherwise)
     phase_breakdown: Optional[Dict] = None
+    #: RDMASan report (only when the run was sanitized; None otherwise)
+    sanitizer: Optional[Dict] = None
 
     @property
     def total_threads(self) -> int:
@@ -176,6 +178,31 @@ def apply_fault_stats(
     return result
 
 
+def attach_sanitizer(sanitize, cluster):
+    """Attach an RDMASan instance when ``sanitize`` is truthy.
+
+    ``sanitize`` may be ``True`` (builds a fresh sanitizer) or an
+    existing :class:`repro.analysis.RdmaSanitizer` to reuse; falsy
+    returns ``None`` and the run stays byte-identical to an unsanitized
+    build.
+    """
+    if not sanitize:
+        return None
+    from repro.analysis.rdmasan import RdmaSanitizer
+
+    sanitizer = sanitize if isinstance(sanitize, RdmaSanitizer) else RdmaSanitizer()
+    sanitizer.attach_cluster(cluster)
+    return sanitizer
+
+
+def collect_sanitizer(sanitizer, result: RunResult) -> RunResult:
+    """Run teardown leak checks and embed the report (no-op on None)."""
+    if sanitizer is not None:
+        sanitizer.finish()
+        result.sanitizer = sanitizer.report()
+    return result
+
+
 def effective_warmup_ns(features: SmartFeatures, warmup_ns: float) -> float:
     """The warmup :func:`measure` will actually use.
 
@@ -269,6 +296,7 @@ def run_hashtable(
     faults=None,
     fault_seed: int = 0,
     obs=None,
+    sanitize=False,
 ) -> RunResult:
     """One point of the hash-table experiments.
 
@@ -318,6 +346,9 @@ def run_hashtable(
     injector = install_faults(deployment, faults, fault_seed, warmup_ns, measure_ns)
     if obs is not None:
         obs.attach_deployment(deployment)
+    sanitizer = attach_sanitizer(sanitize, deployment.cluster)
+    if sanitizer is not None:
+        server.declare_sanitizer_regions(sanitizer)
     sim = deployment.cluster.sim
     # One reusable pure-delay object serves every coroutine's gap sleeps
     # (the kernel's cheap Timeout alternative for fire-and-forget waits).
@@ -346,7 +377,8 @@ def run_hashtable(
         stats, system, workload.name, threads, coroutines, compute_blades, measure_ns
     )
     apply_fault_stats(result, stats, deployment, injector)
-    return collect_obs(obs, deployment, stats, result, warmup_ns, measure_ns)
+    result = collect_obs(obs, deployment, stats, result, warmup_ns, measure_ns)
+    return collect_sanitizer(sanitizer, result)
 
 
 # -- distributed transaction experiments (Figures 10, 11) ---------------------
@@ -369,6 +401,7 @@ def run_dtx(
     faults=None,
     fault_seed: int = 0,
     obs=None,
+    sanitize=False,
 ) -> RunResult:
     """One point of the FORD / SMART-DTX experiments (throughput in
     committed M txn/s).
@@ -406,6 +439,9 @@ def run_dtx(
 
     if obs is not None:
         obs.attach_deployment(deployment)
+    sanitizer = attach_sanitizer(sanitize, deployment.cluster)
+    if sanitizer is not None:
+        server.declare_sanitizer_regions(sanitizer)
     sim = deployment.cluster.sim
     stream_seed = random.Random(seed)
     gap = sim.delay(throttle_gap_ns) if throttle_gap_ns > 0 else None
@@ -446,7 +482,8 @@ def run_dtx(
         stats, system, benchmark, threads, coroutines, compute_blades, measure_ns
     )
     apply_fault_stats(result, stats, deployment, injector, recovery)
-    return collect_obs(obs, deployment, stats, result, warmup_ns, measure_ns)
+    result = collect_obs(obs, deployment, stats, result, warmup_ns, measure_ns)
+    return collect_sanitizer(sanitizer, result)
 
 
 # -- B+Tree experiments (Figure 12) --------------------------------------------
@@ -469,6 +506,7 @@ def run_btree(
     throttle_gap_ns: float = 0.0,
     hopl: bool = True,
     obs=None,
+    sanitize=False,
 ) -> RunResult:
     """One point of the Sherman / SMART-BT experiments.
 
@@ -497,6 +535,9 @@ def run_btree(
     rng = random.Random(seed)
     server.bulk_load([(k, rng.getrandbits(32)) for k in range(item_count)])
     meta = server.meta()
+    sanitizer = attach_sanitizer(sanitize, cluster)
+    if sanitizer is not None:
+        server.declare_sanitizer_regions(sanitizer)
 
     smart_threads: List[SmartThread] = []
     clients_per_node = []
@@ -545,4 +586,5 @@ def run_btree(
     result = result_from_stats(
         stats, system, workload.name, threads, coroutines, servers, measure_ns
     )
-    return collect_obs(obs, deployment, stats, result, warmup_ns, measure_ns)
+    result = collect_obs(obs, deployment, stats, result, warmup_ns, measure_ns)
+    return collect_sanitizer(sanitizer, result)

@@ -65,10 +65,21 @@ class SmartThread:
 class SmartHandle:
     """The verbs-like facade used by one application coroutine."""
 
+    #: process-global handle sequence; the ordinal is allocation-order
+    #: stable for a fixed seed, so RDMASan findings replay identically
+    _next_handle_seq = 0
+
     def __init__(self, smart_thread: SmartThread):
         self.smart = smart_thread
         self.thread = smart_thread.thread
         self.sim = smart_thread.sim
+        SmartHandle._next_handle_seq += 1
+        #: identity RDMASan attributes this coroutine's ops to
+        self.actor = (
+            self.thread.node.node_id,
+            self.thread.thread_id,
+            SmartHandle._next_handle_seq,
+        )
         self._buffer: List[WorkRequest] = []
         self._pending: List[WorkBatch] = []
         self._attempts = 0  # consecutive failed CAS attempts (backoff index)
@@ -128,7 +139,9 @@ class SmartHandle:
                 # Algorithm 1 line 4: batch size rides in the last wr_id.
                 chunk[-1].wr_id = ("batch", len(chunk))
                 yield throttler.take(len(chunk))
-                batch = yield from verbs.post_send(self.thread, qp, chunk)
+                batch = yield from verbs.post_send(
+                    self.thread, qp, chunk, actor=self.actor
+                )
                 batch.done._subscribe(lambda b: throttler.on_complete(len(b)))
                 self._pending.append(batch)
 

@@ -93,6 +93,9 @@ class RnicDevice:
         self.tracer = None
         #: optional :class:`repro.obs.tracing.TraceRecorder` for instants
         self.recorder = None
+        #: optional :class:`repro.analysis.rdmasan.RdmaSanitizer`; like the
+        #: recorder it is a passive observer — None keeps the hot path free
+        self.sanitizer = None
         #: QPs created by remote peers that terminate at this device
         self.accepted_qps = 0
 
@@ -166,6 +169,8 @@ class RnicDevice:
         batch.completed_at = self.sim.now
         if self.tracer is not None:
             self.tracer.record(batch.batch_id, "completed", self.sim.now)
+        if self.sanitizer is not None:
+            self.sanitizer.on_complete(batch)
         batch.done.fire(batch)
 
     def __repr__(self) -> str:

@@ -129,6 +129,7 @@ class WorkBatch:
         "batch_id",
         "wire_bytes",
         "write_bytes",
+        "actor",
     )
 
     _next_batch_id = 0
@@ -143,6 +144,9 @@ class WorkBatch:
         self.done: Event = sim.event()
         self.posted_at = sim.now
         self.completed_at: Optional[int] = None
+        #: stable identity of the logical issuer (RDMASan attribution);
+        #: set by ``post_send`` when the caller supplies one
+        self.actor: Any = None
         wire = 0
         write_payload = 0
         for wr in wrs:

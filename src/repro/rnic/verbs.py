@@ -22,14 +22,20 @@ from typing import Generator, List
 from repro.rnic.qp import QueuePair, WorkBatch, WorkRequest
 
 
-def post_send(thread, qp: QueuePair, wrs: List[WorkRequest]) -> Generator:
+def post_send(thread, qp: QueuePair, wrs: List[WorkRequest], actor=None) -> Generator:
     """Post ``wrs`` on ``qp``; returns the :class:`WorkBatch` once rung in.
 
     Usage: ``batch = yield from post_send(thread, qp, wrs)``.
+
+    ``actor`` is an optional stable identity token for the logical issuer
+    (RDMASan attributes findings to it); raw posts without one are
+    attributed to the posting thread.
     """
     device = qp.device
     config = device.config
     batch = WorkBatch(device.sim, qp, wrs)
+    if actor is not None:
+        batch.actor = actor
 
     yield from thread.compute(config.wqe_build_ns * len(wrs))
 
@@ -39,13 +45,15 @@ def post_send(thread, qp: QueuePair, wrs: List[WorkRequest]) -> Generator:
         # CPU for WQE building is still charged (the check happens at
         # ring time), which also keeps retry loops from spinning at t=0.
         qp.posted_wrs += len(wrs)
+        if device.sanitizer is not None:
+            device.sanitizer.on_post(thread, qp, batch)
         device.requester.submit(batch)
         return batch
 
     thread_id = getattr(thread, "thread_id", 0)
     if qp.share_lock is not None:
         qp.note_user(thread_id)
-        yield qp.share_lock.acquire()
+        yield qp.share_lock.acquire(owner=thread_id)
         thread.mark_busy_until_now()
         # Contended lock word: every acquisition fights the sharers'
         # spinning reads (cache-line bouncing).
@@ -53,7 +61,7 @@ def post_send(thread, qp: QueuePair, wrs: List[WorkRequest]) -> Generator:
     doorbell = qp.doorbell
     doorbell.note_user(thread_id)
     wait_start = device.sim.now
-    yield doorbell.lock.acquire()
+    yield doorbell.lock.acquire(owner=thread_id)
     # The wait above was a spin: the thread's CPU was burning the whole
     # time, so bring its watermark up to now before the locked section.
     thread.mark_busy_until_now()
@@ -64,13 +72,15 @@ def post_send(thread, qp: QueuePair, wrs: List[WorkRequest]) -> Generator:
              "stall_ns": device.sim.now - wait_start},
         )
     yield from thread.compute(doorbell.held_cost_ns(config, len(wrs)))
-    doorbell.lock.release()
+    doorbell.lock.release(owner=thread_id)
     if qp.share_lock is not None:
-        qp.share_lock.release()
+        qp.share_lock.release(owner=thread_id)
 
     doorbell.rings += 1
     device.counters.doorbell_rings += 1
     qp.posted_wrs += len(wrs)
+    if device.sanitizer is not None:
+        device.sanitizer.on_post(thread, qp, batch)
     device.requester.submit(batch)
     return batch
 

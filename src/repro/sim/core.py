@@ -127,15 +127,24 @@ class Event(Waitable):
 
 
 class Process(Waitable):
-    """A running generator; also waitable (triggers with the return value)."""
+    """A running generator; also waitable (triggers with the return value).
 
-    __slots__ = ("generator", "name", "_alive")
+    A process that *raises* (rather than returning) still fires its
+    completion event, with the exception instance as the value and kept
+    on :attr:`error` — waiters parked on the process wake up instead of
+    sleeping forever, and the exception then propagates to the caller of
+    :meth:`Simulator.run` as before.
+    """
+
+    __slots__ = ("generator", "name", "_alive", "error")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         super().__init__(sim)
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._alive = True
+        #: the exception that terminated the process, if any
+        self.error: Optional[BaseException] = None
         sim._schedule_at(sim.now, self._resume, None)
 
     @property
@@ -160,6 +169,10 @@ class Process(Waitable):
             # Process let the interrupt propagate: treat as termination.
             self._finish(None)
             return
+        except BaseException as error:
+            self.error = error
+            self._finish(error)
+            raise
         self._wait_on(target)
 
     def _resume(self, value: Any) -> None:
@@ -170,6 +183,10 @@ class Process(Waitable):
         except StopIteration as stop:
             self._finish(stop.value)
             return
+        except BaseException as error:
+            self.error = error
+            self._finish(error)
+            raise
         self._wait_on(target)
 
     def _wait_on(self, target: Any) -> None:
@@ -234,6 +251,9 @@ class Simulator:
         #: total events executed by :meth:`step`/:meth:`run` (drives the
         #: events/sec figure reported by the perf harness)
         self.events_executed = 0
+        #: when set to a list (RDMASan's leak checker does), :meth:`spawn`
+        #: appends every process to it; ``None`` keeps spawn allocation-free
+        self.process_registry: Optional[List[Process]] = None
 
     # -- scheduling -------------------------------------------------------
 
@@ -273,7 +293,10 @@ class Simulator:
         return Event(self)
 
     def spawn(self, generator: Generator, name: str = "") -> Process:
-        return Process(self, generator, name)
+        process = Process(self, generator, name)
+        if self.process_registry is not None:
+            self.process_registry.append(process)
+        return process
 
     def all_of(self, waitables: Iterable[Waitable]) -> Event:
         """An event that fires (with a list of values) once all inputs have.

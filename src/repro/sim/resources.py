@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque
 
-from repro.sim.core import Event, Simulator, Waitable
+from repro.sim.core import Event, SimulationError, Simulator, Waitable
 
 
 class FifoLock:
@@ -25,13 +25,23 @@ class FifoLock:
         yield lock.acquire()
         ...  # critical section (may yield timeouts)
         lock.release()
+
+    ``acquire``/``release`` optionally carry an *owner* token (any
+    comparable object — verbs passes the posting thread id).  When both
+    sides provide one, a release by anything other than the current
+    holder raises :class:`SimulationError`; RDMASan's lock-discipline
+    checker relies on this being a trustworthy oracle.  Callers that
+    pass no owner keep the old unchecked behaviour.
     """
 
     def __init__(self, sim: Simulator, name: str = "lock"):
         self._sim = sim
         self.name = name
         self._locked = False
-        self._waiters: Deque = deque()  # (Event, enqueue time)
+        #: owner token of the current holder (None when unlocked or when
+        #: the holder did not identify itself)
+        self.owner: Any = None
+        self._waiters: Deque = deque()  # (Event, enqueue time, owner token)
         # Statistics
         self.acquisitions = 0
         self.total_wait_ns = 0
@@ -45,22 +55,31 @@ class FifoLock:
     def queue_length(self) -> int:
         return len(self._waiters)
 
-    def acquire(self) -> Waitable:
+    def acquire(self, owner: Any = None) -> Waitable:
         ticket = self._sim.event()
         if not self._locked and not self._waiters:
             self._locked = True
+            self.owner = owner
             self.acquisitions += 1
             ticket.fire(self)
         else:
-            self._waiters.append((ticket, self._sim.now))
+            self._waiters.append((ticket, self._sim.now, owner))
             self.max_queue_len = max(self.max_queue_len, len(self._waiters))
         return ticket
 
-    def release(self) -> None:
+    def release(self, owner: Any = None) -> None:
         if not self._locked:
-            raise RuntimeError(f"release of unlocked {self.name}")
+            raise SimulationError(f"release of unlocked {self.name}")
+        if owner is not None and self.owner is not None and owner != self.owner:
+            raise SimulationError(
+                f"{self.name}: release by non-owner {owner!r} "
+                f"(held by {self.owner!r})"
+            )
         if self._waiters:
-            ticket, enqueued_at = self._waiters.popleft()
+            ticket, enqueued_at, next_owner = self._waiters.popleft()
+            # The next owner is committed now even though its ticket may
+            # fire after the hand-off delay: the lock is spoken for.
+            self.owner = next_owner
             self.acquisitions += 1
             delay = self._handoff_delay_ns()
             # Stamp the wait at the instant the ticket actually fires: the
@@ -74,6 +93,7 @@ class FifoLock:
                 ticket.fire(self)
         else:
             self._locked = False
+            self.owner = None
 
     def _handoff_delay_ns(self) -> int:
         return 0
