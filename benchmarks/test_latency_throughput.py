@@ -1,0 +1,45 @@
+"""Open-loop latency-throughput knee (hash table, baseline vs SMART).
+
+The open-loop companion to Figure 9: Poisson arrivals at fixed offered
+rates, so past-saturation queueing delay is measured instead of being
+hidden by the closed loop (coordinated omission).  The assertion is the
+knee ordering — SMART keeps tracking offered load at rates where the
+baseline has already saturated.
+"""
+
+from conftest import run_and_report
+
+from repro.bench.experiments import latency_throughput
+from repro.bench.report import find_knee
+from repro.traffic import run_open_loop
+
+
+def test_latency_throughput_knee(benchmark):
+    result = run_and_report(
+        benchmark,
+        latency_throughput,
+        lambda: run_open_loop(app="hashtable", system="smart-ht",
+                              rate_mops=1.0, threads=8, workers=32,
+                              item_count=30_000, measure_ns=1.0e6),
+    )
+    offered = result.series("offered")
+    race = result.series("race_mops")
+    smart = result.series("smart-ht_mops")
+
+    # Below the knee both systems track offered load.
+    assert race[0] > 0.8 * offered[0]
+    assert smart[0] > 0.8 * offered[0]
+    # SMART's capacity — and so its knee — is at least the baseline's.
+    race_knee = find_knee(offered, race)
+    smart_knee = find_knee(offered, smart)
+    if smart_knee is not None:
+        assert race_knee is not None
+        assert smart_knee >= race_knee
+    # At the top of the sweep SMART serves at least as much as RACE.
+    assert smart[-1] >= 0.95 * race[-1]
+    # Past its knee the baseline's queueing delay dwarfs its service
+    # time: total p99 is queueing-dominated.
+    race_q99 = result.series("race_qd99_us")
+    if race_knee is not None:
+        past = offered.index(race_knee)
+        assert race_q99[past] > race_q99[0]

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Open-loop traffic: two tenants, bursty arrivals, SLO admission control.
+
+A latency-sensitive tenant (steady Poisson arrivals, 60 us p99 SLO)
+shares a SMART hash-table deployment with a batch tenant (bursty on-off
+arrivals, no SLO).  The admission controller sheds the batch of work the
+SLO tenant cannot absorb, keeping its tail latency near the target while
+the burst's backlog — which a closed-loop benchmark could never show —
+lands on the batch tenant's own queue.  Run:
+
+    python examples/open_loop_traffic.py
+"""
+
+from repro.traffic import (
+    OnOffArrivals,
+    PoissonArrivals,
+    Slo,
+    TenantSpec,
+    run_open_loop,
+)
+
+
+def main():
+    tenants = [
+        TenantSpec(
+            "latency",
+            PoissonArrivals(1.0),
+            slo=Slo(target_p99_ns=60_000.0, policy="shed"),
+            workers=8,
+        ),
+        TenantSpec(
+            "batch",
+            OnOffArrivals(on_rate_mops=8.0, mean_on_ns=100_000.0,
+                          mean_off_ns=200_000.0),
+            workers=8,
+        ),
+    ]
+    print("open-loop smart-ht, 8 threads, 2 tenants, 2 ms measured window")
+    result = run_open_loop(
+        app="hashtable",
+        tenants=tenants,
+        threads=8,
+        item_count=50_000,
+        warmup_ns=1.0e6,
+        measure_ns=2.0e6,
+    )
+    header = (f"{'tenant':8s} {'offered':>8s} {'served':>7s} {'shed':>6s} "
+              f"{'backlog':>8s} {'p99 (us)':>9s} {'queue p99 (us)':>15s}")
+    print(header)
+    for tenant in result.tenants:
+        print(
+            f"{tenant.tenant:8s} {tenant.offered_mops:8.2f} "
+            f"{tenant.achieved_mops:7.2f} {tenant.shed:6d} "
+            f"{tenant.backlog:8d} "
+            f"{(tenant.p99_latency_ns or 0) / 1e3:9.1f} "
+            f"{(tenant.queue_p99_ns or 0) / 1e3:15.1f}"
+        )
+    print()
+    print("The latency tenant's p99 stays near its 60 us target because the")
+    print("controller converts the target into a queue-depth budget and")
+    print("sheds arrivals over it; the batch tenant absorbs its own bursts")
+    print("as queueing delay instead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,15 @@ and can append a CSV line to a dump file, exactly like the artifact.
 Figure grids run through the same tool: ``--figure fig7`` regenerates a
 paper figure, and ``--jobs N`` (or ``REPRO_JOBS=N``) fans its
 independent simulation points out over a process pool.
+
+``traffic`` is a subcommand driving the open-loop multi-tenant engine::
+
+    python -m repro.bench.cli traffic --app hashtable --rate 2.0
+    python -m repro.bench.cli traffic --sweep 0.5,1,2,4 --json knee.json
+
+A single run prints one row per tenant; ``--sweep`` runs the
+``latency_throughput`` knee-finder experiment over the given offered
+rates instead.
 """
 
 from __future__ import annotations
@@ -80,6 +89,195 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_traffic_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench traffic",
+        description="open-loop multi-tenant traffic engine "
+                    "(arrivals independent of completions)",
+    )
+    parser.add_argument("--app", choices=("hashtable", "dtx", "btree"),
+                        default="hashtable")
+    parser.add_argument("--system", default=None,
+                        help="system under test (default: the SMART variant "
+                             "for --app; e.g. race, smart-ht, ford, sherman)")
+    parser.add_argument("--workload",
+                        choices=("write-heavy", "read-heavy", "read-only",
+                                 "update-only"),
+                        default=None,
+                        help="YCSB mix for hashtable/btree (default: write-heavy)")
+    parser.add_argument("--theta", type=float, default=None,
+                        help="override the workload's Zipfian skew")
+    parser.add_argument("--benchmark", choices=("smallbank", "tatp"),
+                        default="smallbank", help="DTX benchmark")
+    parser.add_argument("--arrivals",
+                        choices=("deterministic", "poisson", "onoff", "ramp",
+                                 "diurnal"),
+                        default="poisson")
+    parser.add_argument("--rate", type=float, default=1.0,
+                        help="offered load in MOPS, split across tenants "
+                             "(base/trough rate for onoff/ramp/diurnal)")
+    parser.add_argument("--peak", type=float, default=None,
+                        help="peak rate in MOPS for onoff/ramp/diurnal "
+                             "(default: 2x --rate)")
+    parser.add_argument("--period-us", type=float, default=200.0,
+                        help="on+off cycle / ramp / diurnal period, "
+                             "simulated microseconds")
+    parser.add_argument("--tenants", type=int, default=1,
+                        help="tenant count; each gets rate/N and workers/N")
+    parser.add_argument("--workers", type=int, default=16,
+                        help="total worker coroutines across tenants")
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--servers", type=int, default=1,
+                        help="btree only: combined compute+memory blades")
+    parser.add_argument("--item-count", type=int, default=30_000)
+    parser.add_argument("--warmup-us", type=float, default=1000.0)
+    parser.add_argument("--measure-us", type=float, default=1500.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--slo-p99-us", type=float, default=None,
+                        help="per-tenant p99 target; enables admission control")
+    parser.add_argument("--max-queue", type=int, default=None,
+                        help="per-tenant hard queue-depth cap")
+    parser.add_argument("--admission", choices=("none", "shed", "defer"),
+                        default=None,
+                        help="over-budget policy (default: shed when an SLO "
+                             "is set, else none)")
+    parser.add_argument("--sweep", default=None, metavar="RATES",
+                        help="comma-separated offered rates (MOPS): run the "
+                             "latency_throughput knee sweep instead of one point")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="process-pool workers for --sweep")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write results as JSON to PATH")
+    return parser
+
+
+_WORKLOADS = {
+    "write-heavy": "WRITE_HEAVY",
+    "read-heavy": "READ_HEAVY",
+    "read-only": "READ_ONLY",
+    "update-only": "UPDATE_ONLY",
+}
+
+
+def _traffic_arrivals(args):
+    from repro.traffic import (
+        DeterministicArrivals, OnOffArrivals, PoissonArrivals, RampArrivals,
+    )
+
+    rate = args.rate / args.tenants
+    peak = (args.peak if args.peak is not None else 2.0 * args.rate) / args.tenants
+    period_ns = args.period_us * 1e3
+    if args.arrivals == "deterministic":
+        return DeterministicArrivals(rate)
+    if args.arrivals == "poisson":
+        return PoissonArrivals(rate)
+    if args.arrivals == "onoff":
+        return OnOffArrivals(on_rate_mops=peak, off_rate_mops=0.0,
+                             mean_on_ns=period_ns / 2, mean_off_ns=period_ns / 2)
+    return RampArrivals(start_mops=rate, end_mops=peak, period_ns=period_ns,
+                        shape="linear" if args.arrivals == "ramp" else "diurnal")
+
+
+def run_traffic(argv: List[str]) -> int:
+    import dataclasses
+    import json
+
+    from repro.bench.report import format_table
+
+    args = build_traffic_parser().parse_args(argv)
+    if args.tenants < 1:
+        print("--tenants must be >= 1", file=sys.stderr)
+        return 2
+
+    if args.sweep is not None:
+        from repro.bench.experiments import latency_throughput
+        from repro.bench.report import write_experiment_json
+
+        rates = [float(r) for r in args.sweep.split(",") if r.strip()]
+        result = latency_throughput(
+            app=args.app, rates_mops=rates, threads=args.threads,
+            workers=args.workers, item_count=args.item_count,
+            warmup_ns=args.warmup_us * 1e3, measure_ns=args.measure_us * 1e3,
+            jobs=args.jobs,
+        )
+        print(result.format())
+        if args.json:
+            write_experiment_json(result, args.json)
+            print(f"wrote {args.json}")
+        return 0
+
+    from repro.traffic import NO_SLO, Slo, TenantSpec, run_open_loop
+
+    workload = None
+    if args.workload is not None:
+        import repro.workloads.ycsb as ycsb
+
+        workload = getattr(ycsb, _WORKLOADS[args.workload])
+    if args.theta is not None:
+        from repro.workloads.ycsb import WRITE_HEAVY
+
+        workload = (workload or WRITE_HEAVY).with_theta(args.theta)
+    if args.app == "dtx":
+        workload = args.benchmark
+
+    if args.slo_p99_us is None and args.max_queue is None:
+        slo = NO_SLO
+    else:
+        policy = args.admission or "shed"
+        slo = Slo(
+            target_p99_ns=(args.slo_p99_us * 1e3
+                           if args.slo_p99_us is not None else None),
+            max_queue_depth=args.max_queue,
+            policy=policy,
+        )
+    arrivals = _traffic_arrivals(args)
+    workers_each = max(1, args.workers // args.tenants)
+    tenants = [
+        TenantSpec(f"t{i}", arrivals, workload=workload, slo=slo,
+                   workers=workers_each)
+        for i in range(args.tenants)
+    ]
+
+    started = time.time()  # lint: disable=SIM001 (host wall clock)
+    result = run_open_loop(
+        app=args.app, system=args.system, tenants=tenants,
+        threads=args.threads, servers=args.servers,
+        item_count=args.item_count, benchmark=args.benchmark,
+        warmup_ns=args.warmup_us * 1e3, measure_ns=args.measure_us * 1e3,
+        seed=args.seed,
+    )
+    wall_s = time.time() - started  # lint: disable=SIM001 (host wall clock)
+    headers = ["tenant", "offered", "achieved", "shed", "deferred", "backlog",
+               "p50_us", "p99_us", "queue_p99_us"]
+    rows = [
+        [t.tenant, t.offered_mops, t.achieved_mops, t.shed, t.deferred,
+         t.backlog, (t.p50_latency_ns or 0) / 1e3, (t.p99_latency_ns or 0) / 1e3,
+         (t.queue_p99_ns or 0) / 1e3]
+        for t in result.tenants
+    ]
+    print(format_table(
+        headers, rows,
+        title=f"open-loop {result.app} ({result.system}), "
+              f"{args.arrivals} arrivals",
+    ))
+    print(f"total: offered={result.offered_mops:.3f} MOPS, "
+          f"achieved={result.achieved_mops:.3f} MOPS, "
+          f"wall time={wall_s:.1f} s")
+    if args.json:
+        payload = {
+            "app": result.app,
+            "system": result.system,
+            "threads": result.threads,
+            "measure_ns": result.measure_ns,
+            "tenants": [dataclasses.asdict(t) for t in result.tenants],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def run_figures(args) -> int:
     from repro.bench.experiments import ALL_EXPERIMENTS
     from repro.bench.report import write_experiment_json
@@ -123,6 +321,10 @@ def format_phase_breakdown(breakdown) -> str:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "traffic":
+        return run_traffic(argv[1:])
     args = build_parser().parse_args(argv)
     if args.figure:
         if args.trace or args.metrics_out:

@@ -37,6 +37,7 @@ _REGISTRY: Dict[str, str] = {
     "run_hashtable": "repro.bench.runner",
     "run_dtx": "repro.bench.runner",
     "run_btree": "repro.bench.runner",
+    "run_open_loop": "repro.traffic.runner",
 }
 
 

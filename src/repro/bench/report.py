@@ -43,6 +43,27 @@ def ratio(numerator: float, denominator: float) -> float:
     return numerator / denominator if denominator else 0.0
 
 
+def find_knee(
+    offered: Sequence[float],
+    achieved: Sequence[float],
+    threshold: float = 0.9,
+) -> Optional[float]:
+    """Locate the knee of a latency-throughput sweep.
+
+    Walking the sweep in offered-load order, the knee is the first
+    offered rate at which achieved throughput falls below ``threshold``
+    of offered — i.e. where the open-loop queue starts absorbing load
+    the service can no longer keep up with.  Returns ``None`` when the
+    service tracked every offered rate (the sweep never saturated).
+    """
+    if len(offered) != len(achieved):
+        raise ValueError("offered and achieved must have the same length")
+    for rate, got in sorted(zip(offered, achieved)):
+        if rate > 0 and got < threshold * rate:
+            return rate
+    return None
+
+
 def result_slug(name: str) -> str:
     """Filesystem-safe slug for an experiment name.
 

@@ -279,6 +279,40 @@ def result_from_stats(
 # -- hash table experiments (Figures 5, 7, 8, 9) -------------------------------
 
 
+def load_hashtable_server(
+    deployment: Deployment,
+    item_count: int,
+    seed: int,
+    rebuild: Callable[[], Deployment],
+):
+    """Size and bulk-load a RACE hash table onto a deployment.
+
+    Sizes the table for ~30% load so splits stay out of the measurement
+    window; a freak both-buckets-full collision during loading retries
+    with a doubled directory on a fresh deployment (``rebuild``).
+    Returns the (possibly rebuilt) deployment and the loaded server.
+    """
+    slots_needed = int(item_count / 0.30)
+    buckets = 512
+    segments = 1
+    while segments * buckets * 7 < slots_needed:
+        segments *= 2
+    for _ in range(3):
+        try:
+            server = HashTableServer(
+                deployment.memory_nodes,
+                segments=segments,
+                buckets_per_segment=buckets,
+                heap_bytes_per_blade=max(8 << 20, item_count * 64),
+            )
+            server.bulk_load(YcsbWorkload.load_items(item_count, seed))
+            return deployment, server
+        except MemoryError:
+            segments *= 2
+            deployment = rebuild()
+    raise MemoryError("could not load the table even after resizing")
+
+
 def run_hashtable(
     system: str = "smart-ht",
     workload: Optional[YcsbWorkload] = None,
@@ -315,32 +349,12 @@ def run_hashtable(
         features, threads, compute_blades, memory_blades, config, seed
     )
 
-    # Size the table for ~30% load so splits stay out of the window; a
-    # freak both-buckets-full collision during loading retries with a
-    # doubled directory.
-    slots_needed = int(item_count / 0.30)
-    buckets = 512
-    segments = 1
-    while segments * buckets * 7 < slots_needed:
-        segments *= 2
-    server = None
-    for _ in range(3):
-        try:
-            server = HashTableServer(
-                deployment.memory_nodes,
-                segments=segments,
-                buckets_per_segment=buckets,
-                heap_bytes_per_blade=max(8 << 20, item_count * 64),
-            )
-            server.bulk_load(YcsbWorkload.load_items(item_count, seed))
-            break
-        except MemoryError:
-            segments *= 2
-            deployment = build_deployment(
-                features, threads, compute_blades, memory_blades, config, seed
-            )
-    else:
-        raise MemoryError("could not load the table even after resizing")
+    deployment, server = load_hashtable_server(
+        deployment, item_count, seed,
+        rebuild=lambda: build_deployment(
+            features, threads, compute_blades, memory_blades, config, seed
+        ),
+    )
     meta = server.meta()
 
     injector = install_faults(deployment, faults, fault_seed, warmup_ns, measure_ns)

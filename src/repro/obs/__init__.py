@@ -161,6 +161,15 @@ class Observability:
         hist = getattr(stats, "latency_hist", None)
         if hist is not None and hist.count:
             registry.adopt_histogram(f"{prefix}.latency_ns", hist)
+        # Open-loop traffic accounting (repro.traffic).  All zero for
+        # closed-loop runs, so their metrics JSON stays byte-identical.
+        if getattr(stats, "offered", 0):
+            registry.counter(f"{prefix}.offered").value = float(stats.offered)
+            registry.counter(f"{prefix}.shed").value = float(stats.shed)
+            registry.counter(f"{prefix}.deferred").value = float(stats.deferred)
+        queue_hist = getattr(stats, "queue_delay_hist", None)
+        if queue_hist is not None and queue_hist.count:
+            registry.adopt_histogram(f"{prefix}.queue_delay_ns", queue_hist)
 
     def phase_breakdown(self, cluster=None) -> Optional[Dict[str, float]]:
         """Batch-weighted per-segment means across the attached devices."""

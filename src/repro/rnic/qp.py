@@ -132,13 +132,11 @@ class WorkBatch:
         "actor",
     )
 
-    _next_batch_id = 0
-
     def __init__(self, sim: Simulator, qp: "QueuePair", wrs: List[WorkRequest]):
         if not wrs:
             raise ValueError("empty work batch")
-        WorkBatch._next_batch_id += 1
-        self.batch_id = WorkBatch._next_batch_id
+        sim.next_batch_id += 1
+        self.batch_id = sim.next_batch_id
         self.wrs = wrs
         self.qp = qp
         self.done: Event = sim.event()

@@ -254,6 +254,10 @@ class Simulator:
         #: when set to a list (RDMASan's leak checker does), :meth:`spawn`
         #: appends every process to it; ``None`` keeps spawn allocation-free
         self.process_registry: Optional[List[Process]] = None
+        #: per-simulation WorkBatch numbering (see repro.rnic.qp).  Scoped
+        #: here rather than a process-global so batch ids — and with them
+        #: traces and sanitizer reports — replay identically run-to-run.
+        self.next_batch_id = 0
 
     # -- scheduling -------------------------------------------------------
 

@@ -101,6 +101,20 @@ class ScrambledZipfianGenerator:
         return fnv1a_64(self._zipf.next()) % self.item_count
 
 
+def exponential_interval_ns(mean_ns: float, rng: random.Random) -> float:
+    """One exponentially distributed inter-arrival gap with the given mean.
+
+    The building block of the open-loop Poisson/MMPP arrival processes in
+    :mod:`repro.traffic.arrivals` — kept here so every source of
+    randomness in a run flows through seeded ``random.Random`` instances
+    and stays bit-replayable.
+    """
+    if mean_ns <= 0:
+        raise ValueError(f"mean_ns must be positive, got {mean_ns}")
+    # rng.random() is in [0, 1), so the argument of log stays in (0, 1].
+    return -mean_ns * math.log(1.0 - rng.random())
+
+
 def truncated_exponential_backoff_ns(
     attempt: int,
     unit_ns: float,

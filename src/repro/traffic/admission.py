@@ -1,0 +1,103 @@
+"""SLO-driven admission control for open-loop tenants.
+
+Past the latency-throughput knee an open-loop queue grows without bound;
+the only way to keep a tenant inside its SLO is to stop admitting work
+it can no longer serve in time.  The controller here converts the
+tenant's p99 target into a queue-depth budget using the observed mean
+service time (an EWMA fed by the engine's workers):
+
+    queueing budget ≈ target_p99 − service
+    depth budget    ≈ workers × (target_p99 / service − 1)
+
+— i.e. with ``d`` ops queued ahead of an arrival and ``w`` workers
+draining them, the arrival waits about ``d × service / w``, so admitting
+only while ``d`` is under the budget caps total latency near the target.
+An explicit ``max_queue_depth`` (when set) is an additional hard cap.
+
+Arrivals over budget are *shed* (dropped, counted) or *deferred*:
+re-offered after a jittered truncated-exponential backoff — the same
+primitive the §4.3 conflict avoider uses — up to ``defer_limit`` times,
+then shed.  All randomness comes from a seeded ``random.Random`` so
+admission decisions replay bit-identically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.sim.rng import truncated_exponential_backoff_ns
+from repro.traffic.tenant import ADMIT_DEFER, ADMIT_NONE, ADMIT_SHED, Slo
+
+#: decision constants returned by :meth:`AdmissionController.decide`
+ADMIT = "admit"
+DEFER = "defer"
+SHED = "shed"
+
+#: EWMA smoothing factor for the observed service time
+_SERVICE_ALPHA = 0.1
+
+
+class AdmissionController:
+    """Per-tenant queue-depth budgeting against an :class:`Slo`."""
+
+    def __init__(
+        self,
+        slo: Slo,
+        workers: int,
+        seed: int = 0,
+        defer_unit_ns: float = 2_000.0,
+    ):
+        self.slo = slo
+        self.workers = max(1, workers)
+        self.rng = random.Random(seed)
+        self.defer_unit_ns = defer_unit_ns
+        #: EWMA of per-op service time (total minus queueing), ns
+        self.service_ewma_ns: Optional[float] = None
+
+    def observe_service(self, service_ns: float) -> None:
+        """Feed one completed op's service time into the EWMA."""
+        if self.service_ewma_ns is None:
+            self.service_ewma_ns = service_ns
+        else:
+            self.service_ewma_ns += _SERVICE_ALPHA * (
+                service_ns - self.service_ewma_ns
+            )
+
+    def budget_depth(self) -> Optional[int]:
+        """Max queue depth the SLO allows right now (None = unlimited).
+
+        Before the first completion there is no service estimate, so the
+        p99 budget cannot bind yet; an explicit ``max_queue_depth`` still
+        does.
+        """
+        slo = self.slo
+        if slo.unlimited:
+            return None
+        depth = slo.max_queue_depth
+        if slo.target_p99_ns is not None and self.service_ewma_ns:
+            slo_depth = int(
+                self.workers
+                * max(slo.target_p99_ns / self.service_ewma_ns - 1.0, 0.0)
+            )
+            depth = slo_depth if depth is None else min(depth, slo_depth)
+        return depth
+
+    def decide(self, queue_depth: int, attempt: int = 0) -> str:
+        """ADMIT, DEFER or SHED an arrival seeing ``queue_depth`` waiters."""
+        slo = self.slo
+        if slo.policy == ADMIT_NONE:
+            return ADMIT
+        budget = self.budget_depth()
+        if budget is None or queue_depth < budget:
+            return ADMIT
+        if slo.policy == ADMIT_DEFER and attempt < slo.defer_limit:
+            return DEFER
+        assert slo.policy in (ADMIT_SHED, ADMIT_DEFER)
+        return SHED
+
+    def defer_delay_ns(self, attempt: int) -> float:
+        """Jittered backoff before re-offering a deferred arrival."""
+        return truncated_exponential_backoff_ns(
+            attempt, self.defer_unit_ns, self.defer_unit_ns * 64, self.rng
+        )

@@ -1,0 +1,193 @@
+"""Open-loop arrival processes.
+
+Every runner in ``repro.bench.runner`` is *closed-loop*: a client
+coroutine issues its next operation only when the previous one has
+completed, so the measured latency can never include the queueing delay
+that builds up past saturation — the "coordinated omission" problem of
+naive load generators.  The processes here generate *arrival times*
+independent of service progress; the traffic engine queues each arrival
+and measures arrival→issue (queueing) and arrival→completion (total)
+latency separately.
+
+Each process is a small frozen dataclass (picklable, so it can ride in a
+:class:`repro.bench.parallel.PointSpec`) whose :meth:`gaps` method
+returns an infinite iterator of inter-arrival gaps in nanoseconds.  All
+randomness flows through a seeded ``random.Random`` via
+:func:`repro.sim.rng.exponential_interval_ns`, so a fixed seed replays
+the arrival sequence bit-identically.
+
+Rates are in MOPS (million operations per second == operations per
+simulated microsecond), matching the bench tables.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.sim.rng import exponential_interval_ns
+
+
+class ArrivalProcess:
+    """Base class: an infinite, seeded stream of inter-arrival gaps."""
+
+    def gaps(self, seed: int) -> Iterator[float]:
+        raise NotImplementedError
+
+    @property
+    def offered_mops(self) -> float:
+        """Nominal long-run mean arrival rate (MOPS)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DeterministicArrivals(ArrivalProcess):
+    """Constant-rate arrivals: one op every ``1/rate`` microseconds."""
+
+    rate_mops: float
+
+    def __post_init__(self):
+        if self.rate_mops <= 0:
+            raise ValueError(f"rate_mops must be positive, got {self.rate_mops}")
+
+    @property
+    def offered_mops(self) -> float:
+        return self.rate_mops
+
+    def gaps(self, seed: int) -> Iterator[float]:
+        gap = 1e3 / self.rate_mops
+        while True:
+            yield gap
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at a fixed mean rate (exponential gaps)."""
+
+    rate_mops: float
+
+    def __post_init__(self):
+        if self.rate_mops <= 0:
+            raise ValueError(f"rate_mops must be positive, got {self.rate_mops}")
+
+    @property
+    def offered_mops(self) -> float:
+        return self.rate_mops
+
+    def gaps(self, seed: int) -> Iterator[float]:
+        rng = random.Random(seed)
+        mean = 1e3 / self.rate_mops
+        while True:
+            yield exponential_interval_ns(mean, rng)
+
+
+@dataclass(frozen=True)
+class OnOffArrivals(ArrivalProcess):
+    """Bursty two-state (MMPP-style) arrivals.
+
+    The process alternates between an *on* state emitting Poisson
+    arrivals at ``on_rate_mops`` and an *off* state at ``off_rate_mops``
+    (0 silences it entirely); state holding times are exponential with
+    means ``mean_on_ns`` / ``mean_off_ns``.  Because within-state gaps
+    are exponential, the leftover gap at a state switch can be discarded
+    without biasing the process (memorylessness).
+    """
+
+    on_rate_mops: float
+    off_rate_mops: float = 0.0
+    mean_on_ns: float = 100_000.0
+    mean_off_ns: float = 100_000.0
+
+    def __post_init__(self):
+        if self.on_rate_mops <= 0:
+            raise ValueError(f"on_rate_mops must be positive, got {self.on_rate_mops}")
+        if self.off_rate_mops < 0:
+            raise ValueError(f"off_rate_mops must be >= 0, got {self.off_rate_mops}")
+        if self.mean_on_ns <= 0 or self.mean_off_ns <= 0:
+            raise ValueError("state holding times must be positive")
+
+    @property
+    def offered_mops(self) -> float:
+        weight = self.mean_on_ns + self.mean_off_ns
+        return (self.on_rate_mops * self.mean_on_ns
+                + self.off_rate_mops * self.mean_off_ns) / weight
+
+    def gaps(self, seed: int) -> Iterator[float]:
+        rng = random.Random(seed)
+        on = True
+        remaining = exponential_interval_ns(self.mean_on_ns, rng)
+        pending = 0.0  # silent time carried into the next emitted gap
+        while True:
+            rate = self.on_rate_mops if on else self.off_rate_mops
+            if rate <= 0:
+                pending += remaining
+                on = not on
+                remaining = exponential_interval_ns(
+                    self.mean_on_ns if on else self.mean_off_ns, rng
+                )
+                continue
+            gap = exponential_interval_ns(1e3 / rate, rng)
+            if gap <= remaining:
+                remaining -= gap
+                yield pending + gap
+                pending = 0.0
+            else:
+                pending += remaining
+                on = not on
+                remaining = exponential_interval_ns(
+                    self.mean_on_ns if on else self.mean_off_ns, rng
+                )
+
+
+@dataclass(frozen=True)
+class RampArrivals(ArrivalProcess):
+    """Time-varying Poisson arrivals: a linear ramp or a diurnal wave.
+
+    ``shape="linear"`` ramps the rate from ``start_mops`` to ``end_mops``
+    over ``period_ns`` and holds it there; ``shape="diurnal"`` swings
+    sinusoidally between the two rates with period ``period_ns``,
+    starting from the ``start_mops`` trough.  Arrivals are generated by
+    Lewis-Shedler thinning against the peak rate, so the sequence is a
+    deterministic function of the seed.
+    """
+
+    start_mops: float
+    end_mops: float
+    period_ns: float
+    shape: str = "linear"
+
+    def __post_init__(self):
+        if min(self.start_mops, self.end_mops) <= 0:
+            raise ValueError("rates must be positive")
+        if self.period_ns <= 0:
+            raise ValueError(f"period_ns must be positive, got {self.period_ns}")
+        if self.shape not in ("linear", "diurnal"):
+            raise ValueError(f"shape must be linear or diurnal, got {self.shape!r}")
+
+    @property
+    def offered_mops(self) -> float:
+        return (self.start_mops + self.end_mops) / 2.0
+
+    def rate_at(self, t_ns: float) -> float:
+        """Instantaneous arrival rate at elapsed time ``t_ns``."""
+        if self.shape == "linear":
+            fraction = min(1.0, max(0.0, t_ns / self.period_ns))
+            return self.start_mops + (self.end_mops - self.start_mops) * fraction
+        mid = (self.start_mops + self.end_mops) / 2.0
+        amplitude = (self.end_mops - self.start_mops) / 2.0
+        return mid - amplitude * math.cos(2.0 * math.pi * t_ns / self.period_ns)
+
+    def gaps(self, seed: int) -> Iterator[float]:
+        rng = random.Random(seed)
+        peak = max(self.start_mops, self.end_mops)
+        mean = 1e3 / peak
+        now = 0.0
+        last = 0.0
+        while True:
+            now += exponential_interval_ns(mean, rng)
+            # Thinning: keep a candidate with probability rate(t)/peak.
+            if rng.random() * peak <= self.rate_at(now):
+                yield now - last
+                last = now

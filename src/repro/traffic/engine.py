@@ -1,0 +1,155 @@
+"""The open-loop traffic engine: arrivals → admission → queue → workers.
+
+For each tenant the engine spawns one *arrival* process (walking the
+tenant's seeded arrival-gap stream and offering one workload op per
+arrival) and ``spec.workers`` *worker* processes (each with its own app
+client/handle) draining the tenant's FIFO queue.  The hand-off rides a
+:class:`repro.sim.TokenBucket` — one token per queued op — so dispatch
+order is deterministic and workers park without polling.
+
+The engine measures what closed-loop runners cannot: the arrival→issue
+*queueing delay* of every admitted op (fed to a mergeable
+:class:`LogHistogram` on the tenant's stats) and the arrival→completion
+*total latency* (the tenant's ``OperationStats`` reservoir, so p50/p99
+come out of the standard percentile path).  Per-tenant shed/deferred
+counters come from the admission controller's decisions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Iterator, List, Tuple
+
+from repro.core.stats import OperationStats
+from repro.sim import Simulator, TokenBucket
+from repro.traffic.admission import ADMIT, DEFER, AdmissionController
+from repro.traffic.tenant import TenantSpec
+
+#: a zero-arg factory returning a one-op executor generator function
+ExecutorFactory = Callable[[], Callable]
+
+
+class TenantState:
+    """Runtime state of one tenant inside the engine."""
+
+    __slots__ = (
+        "spec", "stream", "queue", "tokens", "stats", "admission",
+        "max_queue_depth",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: TenantSpec,
+        stream: Iterator,
+        workers: int,
+        seed: int,
+    ):
+        self.spec = spec
+        self.stream = stream
+        #: FIFO of (arrival_time_ns, op) admitted but not yet issued
+        self.queue: Deque[Tuple[int, object]] = deque()
+        self.tokens = TokenBucket(sim, 0, name=f"{spec.name}.queue")
+        self.stats = OperationStats()
+        self.admission = AdmissionController(spec.slo, workers, seed=seed)
+        #: deepest the queue got since the last window reset
+        self.max_queue_depth = 0
+
+    @property
+    def backlog(self) -> int:
+        """Ops admitted but not yet issued to a worker."""
+        return len(self.queue)
+
+
+class OpenLoopEngine:
+    """Multi-tenant open-loop load generation over one simulator."""
+
+    def __init__(self, sim: Simulator, seed: int = 0):
+        self.sim = sim
+        self.seed = seed
+        self.tenants: List[TenantState] = []
+
+    # -- wiring ------------------------------------------------------------
+
+    def add_tenant(
+        self,
+        spec: TenantSpec,
+        stream: Iterator,
+        executors: List[ExecutorFactory],
+        arrival_seed: int,
+    ) -> TenantState:
+        """Register a tenant and spawn its arrival + worker processes.
+
+        ``stream`` yields one op per arrival; ``executors`` provides one
+        factory per worker, each returning an ``execute(op)`` generator
+        function bound to a fresh app client.
+        """
+        state = TenantState(
+            self.sim, spec, stream, len(executors),
+            seed=(self.seed << 8) ^ arrival_seed,
+        )
+        self.tenants.append(state)
+        self.sim.spawn(
+            self._arrival_loop(state, arrival_seed), name=f"{spec.name}.arrivals"
+        )
+        for index, factory in enumerate(executors):
+            self.sim.spawn(
+                self._worker_loop(state, factory), name=f"{spec.name}.w{index}"
+            )
+        return state
+
+    # -- measurement window ------------------------------------------------
+
+    def reset_window(self) -> None:
+        """Zero per-tenant stats at the warmup/measure boundary.
+
+        The queue itself is *not* cleared — backlog built during warmup
+        is real offered load — but depth tracking restarts from the
+        current backlog.
+        """
+        for state in self.tenants:
+            state.stats.reset()
+            state.max_queue_depth = len(state.queue)
+
+    # -- processes ---------------------------------------------------------
+
+    def _arrival_loop(self, state: TenantState, arrival_seed: int):
+        sim = self.sim
+        stats = state.stats
+        for gap in state.spec.arrivals.gaps(arrival_seed):
+            yield sim.delay(gap)
+            op = next(state.stream)
+            stats.record_offer()
+            self._offer(state, op, 0)
+
+    def _offer(self, state: TenantState, op, attempt: int) -> None:
+        decision = state.admission.decide(len(state.queue), attempt)
+        if decision is ADMIT:
+            state.queue.append((self.sim.now, op))
+            state.max_queue_depth = max(state.max_queue_depth, len(state.queue))
+            state.tokens.put(1)
+        elif decision is DEFER:
+            state.stats.record_deferred()
+            delay = state.admission.defer_delay_ns(attempt)
+            self.sim.call_after(delay, self._reoffer, (state, op, attempt + 1))
+        else:
+            state.stats.record_shed()
+
+    def _reoffer(self, pending: Tuple[TenantState, object, int]) -> None:
+        state, op, attempt = pending
+        self._offer(state, op, attempt)
+
+    def _worker_loop(self, state: TenantState, factory: ExecutorFactory):
+        execute = factory()
+        sim = self.sim
+        stats = state.stats
+        admission = state.admission
+        while True:
+            yield state.tokens.take(1)
+            arrived_at, op = state.queue.popleft()
+            queue_delay = sim.now - arrived_at
+            stats.record_queue_delay(queue_delay)
+            issued_at = sim.now
+            yield from execute(op)
+            admission.observe_service(sim.now - issued_at)
+            stats.record_op(sim.now - arrived_at)

@@ -1,0 +1,403 @@
+"""Open-loop experiment runner for the three SMART applications.
+
+Mirrors :mod:`repro.bench.runner` — same deployments, same app servers
+and clients, same warmup/measure discipline — but drives the clients
+from an :class:`OpenLoopEngine` instead of closed client loops, so
+offered load is independent of service progress and queueing delay is
+measured rather than omitted.
+
+``run_open_loop`` is registered with :mod:`repro.bench.parallel`, so
+every argument (including :class:`TenantSpec` and its arrival process /
+SLO members) must stay picklable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.bench.runner import (
+    SYSTEM_FEATURES,
+    Deployment,
+    build_deployment,
+    effective_warmup_ns,
+    load_hashtable_server,
+)
+from repro.core import OperationStats
+from repro.traffic.arrivals import PoissonArrivals
+from repro.traffic.engine import OpenLoopEngine
+from repro.traffic.tenant import NO_SLO, Slo, TenantSpec
+from repro.workloads.ycsb import INSERT, READ, UPDATE
+
+#: default system per app (mirrors the closed-loop runners)
+DEFAULT_SYSTEMS = {"hashtable": "smart-ht", "dtx": "smart-dtx", "btree": "smart-bt"}
+
+
+@dataclass
+class TenantResult:
+    """Measured-window outcome for one tenant."""
+
+    tenant: str
+    workers: int
+    #: long-run mean of the arrival process (what the sweep asked for)
+    nominal_mops: float
+    #: arrivals actually generated in the window
+    offered_mops: float
+    #: ops completed in the window
+    achieved_mops: float
+    offered: int
+    completed: int
+    shed: int
+    deferred: int
+    #: ops still queued (admitted, not yet issued) at window end —
+    #: grows without bound past the knee when admission is off
+    backlog: int
+    max_queue_depth: int
+    #: arrival→completion latency (includes queueing delay)
+    p50_latency_ns: Optional[float]
+    p99_latency_ns: Optional[float]
+    #: arrival→issue queueing delay
+    queue_p50_ns: Optional[float]
+    queue_p99_ns: Optional[float]
+    queue_mean_ns: float
+    avg_retries: float
+
+
+@dataclass
+class OpenLoopResult:
+    """Aggregated outcome of one open-loop experiment point."""
+
+    app: str
+    system: str
+    threads: int
+    measure_ns: float
+    tenants: List[TenantResult] = field(default_factory=list)
+
+    @property
+    def offered_mops(self) -> float:
+        return sum(t.offered_mops for t in self.tenants)
+
+    @property
+    def achieved_mops(self) -> float:
+        return sum(t.achieved_mops for t in self.tenants)
+
+    @property
+    def shed(self) -> int:
+        return sum(t.shed for t in self.tenants)
+
+    @property
+    def deferred(self) -> int:
+        return sum(t.deferred for t in self.tenants)
+
+    @property
+    def backlog(self) -> int:
+        return sum(t.backlog for t in self.tenants)
+
+    @property
+    def worst_p99_latency_ns(self) -> Optional[float]:
+        values = [t.p99_latency_ns for t in self.tenants
+                  if t.p99_latency_ns is not None]
+        return max(values) if values else None
+
+
+def _tenant_result(state, measure_ns: float) -> TenantResult:
+    stats: OperationStats = state.stats
+    queue_hist = stats.queue_delay_hist
+    return TenantResult(
+        tenant=state.spec.name,
+        workers=state.spec.workers,
+        nominal_mops=state.spec.arrivals.offered_mops,
+        offered_mops=stats.offered / measure_ns * 1e3,
+        achieved_mops=stats.ops / measure_ns * 1e3,
+        offered=stats.offered,
+        completed=stats.ops,
+        shed=stats.shed,
+        deferred=stats.deferred,
+        backlog=state.backlog,
+        max_queue_depth=state.max_queue_depth,
+        p50_latency_ns=stats.latency_percentile_ns(0.50),
+        p99_latency_ns=stats.latency_percentile_ns(0.99),
+        queue_p50_ns=queue_hist.percentile(0.50),
+        queue_p99_ns=queue_hist.percentile(0.99),
+        queue_mean_ns=queue_hist.mean,
+        avg_retries=stats.avg_retries,
+    )
+
+
+# -- per-app wiring ------------------------------------------------------------
+
+
+def _setup_hashtable(system, threads, compute_blades, memory_blades, servers,
+                     item_count, features, config, seed, client_cpu_ns):
+    from repro.apps.race.client import HashTableClient
+    from repro.workloads.ycsb import WRITE_HEAVY
+
+    if features is None:
+        features = SYSTEM_FEATURES[system]()
+    deployment = build_deployment(
+        features, threads, compute_blades, memory_blades, config, seed
+    )
+    deployment, server = load_hashtable_server(
+        deployment, item_count, seed,
+        rebuild=lambda: build_deployment(
+            features, threads, compute_blades, memory_blades, config, seed
+        ),
+    )
+    meta = server.meta()
+
+    def stream_for(spec: TenantSpec, stream_seed: int):
+        workload = spec.workload or WRITE_HEAVY
+        return workload.stream(item_count, stream_seed)
+
+    def executor_for(spec: TenantSpec, smart):
+        def factory():
+            client = HashTableClient(smart.handle(), meta)
+
+            def execute(item):
+                op, key, value = item
+                if op == READ:
+                    yield from client.search(key)
+                elif op == UPDATE:
+                    yield from client.update(key, value)
+                elif op == INSERT:
+                    yield from client.insert(key, value)
+
+            return execute
+
+        return factory
+
+    return deployment, stream_for, executor_for
+
+
+def _setup_dtx(system, threads, compute_blades, memory_blades, servers,
+               item_count, features, config, seed, client_cpu_ns,
+               benchmark="smallbank"):
+    from repro.apps.ford.server import DtxServer
+    from repro.apps.ford.txn import TxnClient
+    from repro.workloads import smallbank as sb
+    from repro.workloads import tatp as tp
+
+    if features is None:
+        features = SYSTEM_FEATURES[system]()
+    deployment = build_deployment(
+        features, threads, compute_blades, memory_blades, config, seed
+    )
+    server = DtxServer(deployment.memory_nodes, replicas=min(2, memory_blades))
+    tables = {}
+    benchmarks = {spec_bench for spec_bench in ("smallbank", "tatp")}
+
+    def bench_of(spec: TenantSpec) -> str:
+        bench = spec.workload or benchmark
+        if bench not in benchmarks:
+            raise ValueError(f"DTX workload must be smallbank or tatp, got {bench!r}")
+        return bench
+
+    def tables_of(bench: str):
+        # Lazy so a run only populates the benchmarks its tenants use.
+        if bench not in tables:
+            setup = sb.setup if bench == "smallbank" else tp.setup
+            kwargs = ({"accounts": item_count} if bench == "smallbank"
+                      else {"subscribers": item_count})
+            tables[bench] = setup(server, **kwargs)
+        return tables[bench]
+
+    def stream_for(spec: TenantSpec, stream_seed: int):
+        bench = bench_of(spec)
+        tables_of(bench)
+        module = sb if bench == "smallbank" else tp
+        return module.transaction_stream(item_count, stream_seed)
+
+    def executor_for(spec: TenantSpec, smart):
+        bench = bench_of(spec)
+
+        def factory():
+            client = TxnClient(smart.handle(), server.alloc_log_ring())
+            bench_tables = tables_of(bench)
+            if bench == "smallbank":
+                def execute(item):
+                    profile, accounts, amount = item
+                    yield from client.run(
+                        lambda txn, p=profile, a=accounts, m=amount:
+                        sb.run_profile(txn, bench_tables, p, a, m)
+                    )
+            else:
+                def execute(item):
+                    profile, sub, aux = item
+                    yield from client.run(
+                        lambda txn, p=profile, s=sub, x=aux:
+                        tp.run_profile(txn, bench_tables, p, s, x)
+                    )
+            return execute
+
+        return factory
+
+    return deployment, stream_for, executor_for
+
+
+def _setup_btree(system, threads, compute_blades, memory_blades, servers,
+                 item_count, features, config, seed, client_cpu_ns):
+    from repro.apps.sherman.client import (
+        BTreeClient, LocalLockTable, SpeculativeCache,
+    )
+    from repro.apps.sherman.server import BTreeServer
+    from repro.cluster import Cluster
+    from repro.core import SmartContext, SmartThread
+    from repro.workloads.ycsb import WRITE_HEAVY
+
+    if features is None:
+        base = {"sherman": "sherman", "sherman-sl": "sherman", "smart-bt": "smart-bt"}
+        features = SYSTEM_FEATURES[base[system]]()
+    speculative = system in ("sherman-sl", "smart-bt")
+    from repro.bench.runner import bench_features
+
+    features = bench_features(features)
+    cluster = Cluster(config)
+    nodes = cluster.add_nodes(servers)
+    server = BTreeServer(nodes, heap_bytes_per_blade=max(16 << 20, item_count * 64))
+    rng = random.Random(seed)
+    server.bulk_load([(k, rng.getrandbits(32)) for k in range(item_count)])
+    meta = server.meta()
+
+    smart_threads: List = []
+    contexts: List = []  # (index_cache, locks, spec_cache) per smart thread
+    for blade_index, node in enumerate(nodes):
+        node.add_threads(threads)
+        SmartContext(node, nodes, features)
+        index_cache = {}
+        locks = LocalLockTable(cluster.sim)
+        spec_cache = SpeculativeCache() if speculative else None
+        for thread in node.threads:
+            smart_threads.append(
+                SmartThread(thread, features, seed=seed + blade_index * 1000)
+            )
+            contexts.append((index_cache, locks, spec_cache))
+    deployment = Deployment(cluster, nodes, nodes, smart_threads, features)
+
+    def stream_for(spec: TenantSpec, stream_seed: int):
+        workload = spec.workload or WRITE_HEAVY
+        return workload.stream(item_count, stream_seed)
+
+    def executor_for(spec: TenantSpec, smart):
+        index_cache, locks, spec_cache = contexts[smart_threads.index(smart)]
+
+        def factory():
+            client = BTreeClient(
+                smart.handle(), meta, index_cache, locks, spec_cache=spec_cache,
+                client_cpu_ns=client_cpu_ns,
+            )
+
+            def execute(item):
+                op, key, value = item
+                if op == READ:
+                    yield from client.lookup(key)
+                elif op == UPDATE:
+                    yield from client.update(key, value)
+                elif op == INSERT:
+                    yield from client.insert(key, value)
+
+            return execute
+
+        return factory
+
+    return deployment, stream_for, executor_for
+
+
+_SETUPS: dict = {
+    "hashtable": _setup_hashtable,
+    "dtx": _setup_dtx,
+    "btree": _setup_btree,
+}
+
+
+# -- the runner ----------------------------------------------------------------
+
+
+def run_open_loop(
+    app: str = "hashtable",
+    system: Optional[str] = None,
+    tenants: Optional[List[TenantSpec]] = None,
+    rate_mops: float = 1.0,
+    arrivals=None,
+    slo: Optional[Slo] = None,
+    workers: int = 8,
+    threads: int = 8,
+    compute_blades: int = 1,
+    memory_blades: int = 2,
+    servers: int = 1,
+    item_count: int = 50_000,
+    benchmark: str = "smallbank",
+    features=None,
+    config=None,
+    warmup_ns: float = 1.0e6,
+    measure_ns: float = 2.0e6,
+    seed: int = 0,
+    client_cpu_ns: float = 2000.0,
+    obs=None,
+) -> OpenLoopResult:
+    """One open-loop experiment point.
+
+    With ``tenants=None`` a single default tenant is built from
+    ``rate_mops`` / ``arrivals`` / ``slo`` / ``workers`` (Poisson
+    arrivals unless an explicit process is given).  Each tenant's
+    workers are spread round-robin over the deployment's SMART threads,
+    so tenants contend for the same RNICs and fabric while keeping
+    private queues, stats and admission state.
+    """
+    if app not in _SETUPS:
+        raise ValueError(f"app must be one of {sorted(_SETUPS)}, got {app!r}")
+    system = system or DEFAULT_SYSTEMS[app]
+    if tenants is None:
+        tenants = [TenantSpec(
+            "t0",
+            arrivals or PoissonArrivals(rate_mops),
+            slo=slo or NO_SLO,
+            workers=workers,
+        )]
+
+    kwargs = {"benchmark": benchmark} if app == "dtx" else {}
+    deployment, stream_for, executor_for = _SETUPS[app](
+        system, threads, compute_blades, memory_blades, servers,
+        item_count, features, config, seed, client_cpu_ns, **kwargs
+    )
+
+    if obs is not None:
+        obs.attach_deployment(deployment)
+
+    sim = deployment.cluster.sim
+    engine = OpenLoopEngine(sim, seed=seed)
+    seeder = random.Random(seed)
+    worker_index = 0
+    for spec in tenants:
+        stream = stream_for(spec, seeder.getrandbits(31))
+        executors = []
+        for _ in range(spec.workers):
+            smart = deployment.smart_threads[
+                worker_index % len(deployment.smart_threads)
+            ]
+            executors.append(executor_for(spec, smart))
+            worker_index += 1
+        engine.add_tenant(spec, stream, executors, seeder.getrandbits(31))
+
+    warm = effective_warmup_ns(deployment.features, warmup_ns)
+    sim.run(until=warm)
+    for smart in deployment.smart_threads:
+        smart.stats.reset()
+    engine.reset_window()
+    sim.run(until=warm + measure_ns)
+
+    result = OpenLoopResult(
+        app=app, system=system, threads=threads, measure_ns=measure_ns,
+        tenants=[_tenant_result(state, measure_ns) for state in engine.tenants],
+    )
+
+    if obs is not None:
+        obs.phase("warmup", 0, warm)
+        obs.phase("measure", warm, warm + measure_ns)
+        obs.collect_cluster(deployment.cluster, window_ns=measure_ns)
+        obs.collect_stats(
+            OperationStats.merge([s.stats for s in deployment.smart_threads])
+        )
+        for state in engine.tenants:
+            obs.collect_stats(state.stats, prefix=f"tenant.{state.spec.name}")
+    return result

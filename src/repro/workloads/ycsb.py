@@ -12,6 +12,7 @@ The paper evaluates three read/update mixes over Zipfian-distributed keys
 from __future__ import annotations
 
 import random
+import re
 from dataclasses import dataclass
 from typing import Iterator, Tuple
 
@@ -22,6 +23,9 @@ UPDATE = "update"
 INSERT = "insert"
 
 Op = Tuple[str, int, int]  # (op, key, value)
+
+#: the suffix :meth:`YcsbWorkload.with_theta` appends to derived names
+_THETA_SUFFIX = re.compile(r"\(theta=[^)]*\)$")
 
 
 @dataclass(frozen=True)
@@ -38,6 +42,8 @@ class YcsbWorkload:
         total = self.read_fraction + self.update_fraction + self.insert_fraction
         if abs(total - 1.0) > 1e-9:
             raise ValueError(f"fractions sum to {total}, expected 1.0")
+        if self.theta < 0:
+            raise ValueError(f"theta must be >= 0, got {self.theta}")
 
     def stream(self, item_count: int, seed: int) -> Iterator[Op]:
         """An infinite per-coroutine operation stream."""
@@ -58,8 +64,11 @@ class YcsbWorkload:
                 next_insert_key += 1
 
     def with_theta(self, theta: float) -> "YcsbWorkload":
+        # Strip an existing "(theta=x)" suffix so repeated calls derive
+        # from the base name instead of nesting "name(theta=x)(theta=y)".
+        base = _THETA_SUFFIX.sub("", self.name)
         return YcsbWorkload(
-            f"{self.name}(theta={theta})",
+            f"{base}(theta={theta})",
             self.read_fraction,
             self.update_fraction,
             self.insert_fraction,

@@ -111,6 +111,44 @@ def test_seeded_datapath_bitwise_replay():
     assert runs[0] == runs[1] == runs[2]
 
 
+def _instrumented_chaos_run():
+    """A faulty + traced + sanitized run; returns every observable artifact.
+
+    This is the worst-case determinism test: fault injection consumes
+    seeded randomness, tracing observes the run passively, and RDMASan
+    shadows every remote access.  None of them may perturb the simulated
+    outcome, and all of their own outputs must replay exactly.
+    """
+    from repro.bench.microbench import run_microbench
+    from repro.obs import Observability, chrome_trace
+
+    obs = Observability()
+    result = run_microbench(
+        policy="per-thread-db", threads=8, depth=4,
+        warmup_ns=0.2e6, measure_ns=0.6e6, seed=5,
+        faults="loss=0.05@0.3ms+0.3ms", fault_seed=11,
+        obs=obs, sanitize=True,
+    )
+    return (
+        (result.throughput_mops, result.dram_bytes_per_wr,
+         result.messages_dropped, result.retransmissions, result.wasted_wrs),
+        result.sanitizer,
+        obs.registry.to_dict(),
+        chrome_trace(obs.recorder),
+    )
+
+
+def test_chaos_traced_sanitized_run_replays_bit_identically():
+    first = _instrumented_chaos_run()
+    second = _instrumented_chaos_run()
+    assert first[0] == second[0]  # simulated outcomes
+    assert first[1] == second[1]  # sanitizer report
+    assert first[2] == second[2]  # metrics registry snapshot
+    assert first[3] == second[3]  # full chrome trace
+    # The faults actually fired (the run exercised the chaos path).
+    assert first[0][2] > 0
+
+
 def test_heap_order_survives_heavy_same_instant_load():
     """Thousands of same-instant events keep strict scheduling order."""
     sim = Simulator()

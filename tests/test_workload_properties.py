@@ -1,0 +1,143 @@
+"""Property-based invariants for the seeded generators and YCSB streams.
+
+Runs under Hypothesis when available (it is an optional test dep; the
+module skips cleanly without it).  Each property pins a contract the
+rest of the stack leans on: key-range closure, op-mix convergence, skew
+monotonicity, and bit-identical same-seed replay.
+"""
+
+import itertools
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.sim.rng import (  # noqa: E402
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+from repro.workloads.ycsb import (  # noqa: E402
+    INSERT,
+    READ,
+    UPDATE,
+    WRITE_HEAVY,
+    YcsbWorkload,
+)
+
+item_counts = st.integers(min_value=2, max_value=5_000)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+thetas = st.floats(min_value=0.0, max_value=0.999, exclude_min=True,
+                   allow_nan=False)
+
+
+@settings(max_examples=30, deadline=None)
+@given(item_count=item_counts, seed=seeds)
+def test_uniform_generator_stays_in_range(item_count, seed):
+    gen = UniformGenerator(item_count, seed=seed)
+    assert all(0 <= gen.next() < item_count for _ in range(200))
+
+
+@settings(max_examples=30, deadline=None)
+@given(item_count=item_counts, seed=seeds, theta=thetas)
+def test_zipfian_generators_stay_in_range(item_count, seed, theta):
+    plain = ZipfianGenerator(item_count, theta, seed=seed)
+    scrambled = ScrambledZipfianGenerator(item_count, theta, seed=seed)
+    for _ in range(200):
+        assert 0 <= plain.next() < item_count
+        assert 0 <= scrambled.next() < item_count
+
+
+@settings(max_examples=20, deadline=None)
+@given(item_count=st.integers(min_value=10, max_value=1_000), seed=seeds,
+       theta=thetas)
+def test_same_seed_generators_replay_identically(item_count, seed, theta):
+    def draws():
+        gen = ScrambledZipfianGenerator(item_count, theta, seed=seed)
+        return [gen.next() for _ in range(100)]
+
+    assert draws() == draws()
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds)
+def test_hotter_theta_concentrates_popularity(seed):
+    """The hottest key's hit rate is monotone in theta (skew ordering)."""
+    item_count, draws = 1_000, 4_000
+    rates = []
+    for theta in (0.2, 0.6, 0.99):
+        gen = ZipfianGenerator(item_count, theta, seed=seed)
+        counts = {}
+        for _ in range(draws):
+            key = gen.next()
+            counts[key] = counts.get(key, 0) + 1
+        rates.append(max(counts.values()) / draws)
+    assert rates[0] < rates[1] < rates[2]
+
+
+@settings(max_examples=20, deadline=None)
+@given(item_count=item_counts, seed=seeds,
+       theta=st.one_of(st.just(0.0), thetas))
+def test_ycsb_stream_keys_in_range(item_count, seed, theta):
+    """READ/UPDATE keys stay in [0, item_count); INSERTs extend the tail."""
+    workload = YcsbWorkload("mixed", read_fraction=0.4, update_fraction=0.4,
+                            insert_fraction=0.2, theta=theta)
+    inserts = []
+    for op, key, value in itertools.islice(
+            workload.stream(item_count, seed), 300):
+        if op == INSERT:
+            assert key >= item_count
+            inserts.append(key)
+        else:
+            assert op in (READ, UPDATE)
+            assert 0 <= key < item_count
+        if op == READ:
+            assert value == 0
+    assert inserts == sorted(inserts)  # insert tail grows monotonically
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds, read_pct=st.integers(min_value=0, max_value=100))
+def test_ycsb_op_mix_converges(seed, read_pct):
+    read_fraction = read_pct / 100.0
+    workload = YcsbWorkload("mix", read_fraction=read_fraction,
+                            update_fraction=1.0 - read_fraction)
+    sample = 3_000
+    reads = sum(
+        1 for op, _, _ in itertools.islice(workload.stream(500, seed), sample)
+        if op == READ
+    )
+    assert reads / sample == pytest.approx(read_fraction, abs=0.04)
+
+
+@settings(max_examples=20, deadline=None)
+@given(item_count=item_counts, seed=seeds)
+def test_ycsb_same_seed_streams_identical(item_count, seed):
+    first = list(itertools.islice(WRITE_HEAVY.stream(item_count, seed), 200))
+    second = list(itertools.islice(WRITE_HEAVY.stream(item_count, seed), 200))
+    assert first == second
+
+
+# -- with_theta bugfix ride-along ---------------------------------------------
+
+
+def test_with_theta_does_not_nest_names():
+    derived = WRITE_HEAVY.with_theta(0.5).with_theta(0.8)
+    assert derived.name == "write-heavy(theta=0.8)"
+    assert derived.theta == 0.8
+
+
+@settings(max_examples=20, deadline=None)
+@given(first=thetas, second=thetas)
+def test_with_theta_idempotent_naming(first, second):
+    derived = WRITE_HEAVY.with_theta(first).with_theta(second)
+    assert derived.name.count("(theta=") == 1
+    assert derived.read_fraction == WRITE_HEAVY.read_fraction
+
+
+def test_negative_theta_rejected():
+    with pytest.raises(ValueError):
+        YcsbWorkload("bad", read_fraction=1.0, update_fraction=0.0, theta=-0.1)
+    with pytest.raises(ValueError):
+        WRITE_HEAVY.with_theta(-1.0)
