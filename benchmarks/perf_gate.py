@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Kernel perf-regression gate.
+
+Compares a freshly measured ``BENCH_kernel.json`` (written by
+``benchmarks/test_perf_kernel.py``) against the pinned baseline
+committed at ``benchmarks/reference/BENCH_kernel.json`` and exits
+non-zero when the kernel got meaningfully slower:
+
+* an events/sec metric dropped below ``ratio`` x its pinned value
+  (default ratio 0.8, i.e. a >20 % regression fails); or
+* ``grid_speedup`` fell below ``ratio`` x its pinned value, or became
+  null on a multi-core machine while the pin has a real value.
+
+``grid_speedup`` is honestly ``null`` on single-core machines (the
+harness refuses to report pool overhead as a "speedup"), so a null pin
+or a null measurement on a 1-CPU box never fails the gate.
+
+Usage::
+
+    python benchmarks/perf_gate.py                       # default paths
+    python benchmarks/perf_gate.py --ratio 0.7
+    REPRO_PERF_GATE_RATIO=0.7 python benchmarks/perf_gate.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+#: higher-is-better throughput metrics gated by the ratio
+THROUGHPUT_KEYS = (
+    "timeout_path_events_per_sec",
+    "delay_path_events_per_sec",
+)
+
+
+def compare(fresh: dict, baseline: dict, ratio: float):
+    """Return (report lines, failure messages)."""
+    lines = []
+    failures = []
+    header = (f"{'metric':<32}{'pinned':>14}{'fresh':>14}"
+              f"{'fresh/pin':>11}  verdict")
+    lines.append(header)
+    lines.append("-" * len(header))
+
+    def row(key, pinned, fresh_v, verdict, rel=None):
+        rel_s = f"{rel:.2f}x" if rel is not None else "-"
+        pin_s = f"{pinned:,.0f}" if isinstance(pinned, (int, float)) else "null"
+        new_s = f"{fresh_v:,.0f}" if isinstance(fresh_v, (int, float)) else "null"
+        lines.append(f"{key:<32}{pin_s:>14}{new_s:>14}{rel_s:>11}  {verdict}")
+
+    for key in THROUGHPUT_KEYS:
+        pinned = baseline.get(key)
+        fresh_v = fresh.get(key)
+        if not pinned or not fresh_v:
+            row(key, pinned, fresh_v, "skip (missing)")
+            continue
+        rel = fresh_v / pinned
+        if rel < ratio:
+            failures.append(
+                f"{key}: {fresh_v:,.0f} is {rel:.2f}x the pinned "
+                f"{pinned:,.0f} (floor {ratio:.2f}x)"
+            )
+            row(key, pinned, fresh_v, "FAIL", rel)
+        else:
+            row(key, pinned, fresh_v, "ok", rel)
+
+    pin_speedup = baseline.get("grid_speedup")
+    new_speedup = fresh.get("grid_speedup")
+    cpus = fresh.get("cpu_count") or 1
+    if pin_speedup is None:
+        row("grid_speedup", None, new_speedup, "skip (pin null)")
+    elif new_speedup is None:
+        if cpus > 1:
+            failures.append(
+                f"grid_speedup became null on a {cpus}-CPU machine "
+                f"(pinned {pin_speedup:.2f})"
+            )
+            row("grid_speedup", pin_speedup, None, "FAIL")
+        else:
+            row("grid_speedup", pin_speedup, None, "skip (1 CPU)")
+    else:
+        rel = new_speedup / pin_speedup
+        lines.append(
+            f"{'grid_speedup':<32}{pin_speedup:>13.2f}x{new_speedup:>13.2f}x"
+            f"{rel:>10.2f}x  {'FAIL' if rel < ratio else 'ok'}"
+        )
+        if rel < ratio:
+            failures.append(
+                f"grid_speedup: {new_speedup:.2f} is {rel:.2f}x the "
+                f"pinned {pin_speedup:.2f} (floor {ratio:.2f}x)"
+            )
+    return lines, failures
+
+
+def main(argv=None) -> int:
+    here = os.path.dirname(os.path.abspath(__file__))
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh", default=os.path.join(here, "results", "BENCH_kernel.json"),
+        help="freshly measured metrics (default: benchmarks/results/)")
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(here, "reference", "BENCH_kernel.json"),
+        help="pinned baseline (default: benchmarks/reference/)")
+    parser.add_argument(
+        "--ratio", type=float,
+        default=float(os.environ.get("REPRO_PERF_GATE_RATIO", "0.8")),
+        help="minimum fresh/pinned ratio (default 0.8 = fail on a >20%% "
+             "drop; env REPRO_PERF_GATE_RATIO overrides)")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    with open(args.fresh) as handle:
+        fresh = json.load(handle)
+
+    lines, failures = compare(fresh, baseline, args.ratio)
+    print(f"perf gate: {args.fresh} vs pinned {args.baseline} "
+          f"(floor {args.ratio:.2f}x)")
+    for line in lines:
+        print(line)
+    if failures:
+        print()
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        return 1
+    print("perf gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

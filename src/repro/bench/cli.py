@@ -33,12 +33,51 @@ rates instead.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.bench.microbench import POLICIES, run_microbench
 from repro.bench.parallel import default_jobs
+
+
+def profile_path_for(args) -> str:
+    """Where ``--profile`` writes its pstats dump: next to the result
+    JSON (or CSV dump file) when one is requested, else the cwd."""
+    for attr in ("json", "dump_file_path"):
+        target = getattr(args, attr, None)
+        if target:
+            return os.path.splitext(target)[0] + ".pstats"
+    return "repro-bench.pstats"
+
+
+def run_profiled(path: str, fn: Callable[[], int]) -> int:
+    """Run ``fn`` under cProfile; dump pstats to ``path`` and print the
+    top of the cumulative-time table so the hotspots are visible without
+    opening the dump.
+
+    Only the parent process is profiled — with ``--jobs`` > 1 the
+    simulation work happens in pool workers, so profile kernel-level
+    questions with ``--jobs 1``.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return fn()
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)
+        table = io.StringIO()
+        stats = pstats.Stats(profiler, stream=table)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(10)
+        print(table.getvalue().rstrip())
+        print(f"profile: wrote {path} "
+              f"(inspect with: python -m pstats {path})")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,9 +122,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "the whole suite)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="process-pool workers for --figure grids "
-                             "(default: $REPRO_JOBS or 1 = serial)")
+                             "(default: $REPRO_JOBS or 1 = serial; "
+                             "0 = all cores)")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="with --figure: also write the result rows as JSON")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and write a pstats dump next "
+                             "to the result JSON/CSV (kernel PRs start from "
+                             "data; profiles the parent process — use "
+                             "--jobs 1 to capture simulation work)")
     return parser
 
 
@@ -145,9 +190,13 @@ def build_traffic_parser() -> argparse.ArgumentParser:
                         help="comma-separated offered rates (MOPS): run the "
                              "latency_throughput knee sweep instead of one point")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
-                        help="process-pool workers for --sweep")
+                        help="process-pool workers for --sweep "
+                             "(0 = all cores)")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="also write results as JSON to PATH")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and write a pstats dump next "
+                             "to the result JSON")
     return parser
 
 
@@ -179,15 +228,20 @@ def _traffic_arrivals(args):
 
 
 def run_traffic(argv: List[str]) -> int:
-    import dataclasses
-    import json
-
-    from repro.bench.report import format_table
-
     args = build_traffic_parser().parse_args(argv)
     if args.tenants < 1:
         print("--tenants must be >= 1", file=sys.stderr)
         return 2
+    if args.profile:
+        return run_profiled(profile_path_for(args), lambda: _run_traffic(args))
+    return _run_traffic(args)
+
+
+def _run_traffic(args) -> int:
+    import dataclasses
+    import json
+
+    from repro.bench.report import format_table
 
     if args.sweep is not None:
         from repro.bench.experiments import latency_throughput
@@ -331,7 +385,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("--trace/--metrics-out apply to single-point runs, "
                   "not --figure grids", file=sys.stderr)
             return 2
+        if args.profile:
+            return run_profiled(profile_path_for(args),
+                                lambda: run_figures(args))
         return run_figures(args)
+    if args.profile:
+        return run_profiled(profile_path_for(args), lambda: run_single(args))
+    return run_single(args)
+
+
+def run_single(args) -> int:
     obs = None
     if args.trace or args.metrics_out:
         from repro.obs import Observability

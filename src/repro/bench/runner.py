@@ -82,6 +82,10 @@ class RunResult:
     phase_breakdown: Optional[Dict] = None
     #: RDMASan report (only when the run was sanitized; None otherwise)
     sanitizer: Optional[Dict] = None
+    #: kernel events the whole point executed (warmup + measure) — with
+    #: the host wall-clock this gives events/sec per figure point, the
+    #: same currency as benchmarks/results/BENCH_kernel.json
+    sim_events: int = 0
 
     @property
     def total_threads(self) -> int:
@@ -259,8 +263,10 @@ def result_from_stats(
     coroutines: int,
     compute_blades: int,
     measure_ns: float,
+    sim: Optional["object"] = None,
 ) -> RunResult:
     return RunResult(
+        sim_events=sim.events_executed if sim is not None else 0,
         system=system,
         workload=workload,
         threads=threads,
@@ -388,7 +394,8 @@ def run_hashtable(
 
     stats = measure(deployment, warmup_ns, measure_ns)
     result = result_from_stats(
-        stats, system, workload.name, threads, coroutines, compute_blades, measure_ns
+        stats, system, workload.name, threads, coroutines, compute_blades,
+        measure_ns, sim=sim,
     )
     apply_fault_stats(result, stats, deployment, injector)
     result = collect_obs(obs, deployment, stats, result, warmup_ns, measure_ns)
@@ -493,7 +500,8 @@ def run_dtx(
 
     stats = measure(deployment, warmup_ns, measure_ns)
     result = result_from_stats(
-        stats, system, benchmark, threads, coroutines, compute_blades, measure_ns
+        stats, system, benchmark, threads, coroutines, compute_blades,
+        measure_ns, sim=sim,
     )
     apply_fault_stats(result, stats, deployment, injector, recovery)
     result = collect_obs(obs, deployment, stats, result, warmup_ns, measure_ns)
@@ -598,7 +606,8 @@ def run_btree(
         obs.attach_deployment(deployment)
     stats = measure(deployment, warmup_ns, measure_ns)
     result = result_from_stats(
-        stats, system, workload.name, threads, coroutines, servers, measure_ns
+        stats, system, workload.name, threads, coroutines, servers,
+        measure_ns, sim=sim,
     )
     result = collect_obs(obs, deployment, stats, result, warmup_ns, measure_ns)
     return collect_sanitizer(sanitizer, result)

@@ -3,6 +3,18 @@
 Time is measured in integer nanoseconds (floats are accepted and rounded).
 The loop is deterministic: events scheduled for the same instant run in
 scheduling order, so a fixed RNG seed reproduces a run exactly.
+
+Scheduler internals (see docs/MODEL.md §12 for the full story): pending
+events live in per-tick *buckets* — flat ``[what, value, what, value,
+...]`` lists — indexed by a timing wheel of ``_WHEEL_SLOTS`` single-tick
+slots covering the window ``[base, base + _WHEEL_SLOTS)``.  A small heap
+orders the *distinct occupied tick times* of the wheel (one heap push/pop
+per tick, not per event), and events beyond the window land in an
+overflow calendar (``{when: bucket}`` plus a heap of its distinct times)
+whose buckets migrate into wheel slots wholesale when the window
+advances.  Executing a tick drains its whole bucket in insertion order,
+which preserves the old heap's ``(when, seq)`` total order exactly while
+replacing per-event O(log n) heap churn with list appends.
 """
 
 from __future__ import annotations
@@ -19,13 +31,19 @@ class SimulationError(RuntimeError):
 #: Sentinel distinguishing "no value given" from an explicit ``None``.
 _NO_VALUE = object()
 
+#: Wheel geometry: one slot per integer-nanosecond tick, so a slot holds
+#: exactly one bucket and same-tick FIFO order is the bucket's list order.
+_WHEEL_BITS = 13
+_WHEEL_SLOTS = 1 << _WHEEL_BITS
+_WHEEL_MASK = _WHEEL_SLOTS - 1
+
 
 def _invoke_noarg(callback: Callable[[], None]) -> None:
     """Trampoline for zero-argument ``call_at`` callbacks.
 
     Reusing this one module-level function keeps ``call_at`` free of
-    per-call closure allocations while the heap entry format stays a
-    uniform ``(when, seq, callback, value)``.
+    per-call closure allocations while the bucket entry format stays a
+    uniform ``(what, value)`` pair.
     """
     callback()
 
@@ -42,14 +60,17 @@ class Waitable:
     """Base class for things a process may yield.
 
     A waitable accepts at most many subscribers; when it triggers, each
-    subscriber callback is invoked with the waitable's value.
+    subscriber is invoked with the waitable's value.  A subscriber is
+    either a plain callable or a :class:`Process` instance — the kernel
+    resumes processes directly (the fused fast path) instead of going
+    through a bound-method trampoline.
     """
 
     __slots__ = ("_sim", "_callbacks", "_triggered", "_value")
 
     def __init__(self, sim: "Simulator"):
         self._sim = sim
-        self._callbacks: List[Callable[[Any], None]] = []
+        self._callbacks: List[Any] = []
         self._triggered = False
         self._value: Any = None
 
@@ -61,7 +82,7 @@ class Waitable:
     def value(self) -> Any:
         return self._value
 
-    def _subscribe(self, callback: Callable[[Any], None]) -> None:
+    def _subscribe(self, callback: Any) -> None:
         if self._triggered:
             # Deliver on the next tick to preserve run-to-completion
             # semantics of the subscribing process.
@@ -75,8 +96,19 @@ class Waitable:
         self._triggered = True
         self._value = value
         callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            self._sim._schedule_at(self._sim.now, callback, value)
+        sim = self._sim
+        bucket = sim._active
+        if bucket is not None:
+            # The active bucket is exactly "deliver at sim.now, after
+            # everything already queued" — append without a scheduler call.
+            for callback in callbacks:
+                bucket.append(callback)
+                bucket.append(value)
+        else:
+            schedule = sim._schedule_at
+            now = sim.now
+            for callback in callbacks:
+                schedule(now, callback, value)
 
 
 class Timeout(Waitable):
@@ -85,13 +117,20 @@ class Timeout(Waitable):
     __slots__ = ()
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
-        super().__init__(sim)
+        # Inlined Waitable.__init__ — Timeout creation is on the sleep
+        # hot path and the extra super().__init__ frame is measurable.
+        self._sim = sim
+        self._callbacks = []
+        self._triggered = False
+        self._value = None
         # Round first so Timeout and Delay agree on which durations are
         # negative: -0.4 rounds to 0 and is accepted by both.
         delay = int(round(delay))
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
-        sim._schedule_at(sim.now + delay, self._trigger, value)
+        # Schedule the Timeout itself (the drain loop calls _trigger) so
+        # no bound method is allocated per timeout.
+        sim._schedule_at(sim.now + delay, self, value)
 
 
 class Delay:
@@ -99,10 +138,12 @@ class Delay:
 
     Yielding a ``Delay`` resumes the process ``ns`` nanoseconds later with
     value ``None``.  Unlike a :class:`Timeout` it carries no subscriber
-    list and costs a single heap event instead of two (trigger + resume),
+    list and costs a single bucket entry instead of two (trigger + resume),
     and — being stateless — one instance can be yielded any number of
     times, by any number of processes.  This is the fast path for
-    throttle-gap style sleeps that fire millions of times per run.
+    throttle-gap style sleeps that fire millions of times per run: the
+    drain loop in :meth:`Simulator.run` reschedules the resume inline,
+    without touching the generic scheduling machinery at all.
     """
 
     __slots__ = ("ns",)
@@ -112,6 +153,24 @@ class Delay:
         if ns < 0:
             raise SimulationError(f"negative delay: {ns}")
         self.ns = ns
+
+    def retime(self, ns: float) -> "Delay":
+        """Re-arm this instance for a different gap and return it.
+
+        The kernel reads ``ns`` once, at the instant the delay is
+        yielded, so a loop with a varying gap (open-loop arrival
+        processes) can recycle one instance instead of allocating a
+        ``Delay`` per sleep::
+
+            nap = sim.delay(0)
+            for gap in gaps:
+                yield nap.retime(gap)
+        """
+        ns = int(round(ns))
+        if ns < 0:
+            raise SimulationError(f"negative delay: {ns}")
+        self.ns = ns
+        return self
 
     def __repr__(self) -> str:
         return f"Delay({self.ns})"
@@ -145,7 +204,7 @@ class Process(Waitable):
         self._alive = True
         #: the exception that terminated the process, if any
         self.error: Optional[BaseException] = None
-        sim._schedule_at(sim.now, self._resume, None)
+        sim._schedule_at(sim.now, self, None)
 
     @property
     def alive(self) -> bool:
@@ -176,6 +235,9 @@ class Process(Waitable):
         self._wait_on(target)
 
     def _resume(self, value: Any) -> None:
+        # Reference implementation of one process step.  The drain loop
+        # in Simulator.run() inlines exactly this sequence (plus the
+        # Delay reschedule) — keep the two in lockstep.
         if not self._alive:
             return
         try:
@@ -192,9 +254,9 @@ class Process(Waitable):
     def _wait_on(self, target: Any) -> None:
         if type(target) is Delay:
             sim = self._sim
-            sim._schedule_at(sim.now + target.ns, self._resume, None)
+            sim._schedule_at(sim.now + target.ns, self, None)
         elif isinstance(target, Waitable):
-            target._subscribe(self._resume)
+            target._subscribe(self)
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded non-waitable {target!r}"
@@ -245,8 +307,21 @@ class Simulator:
     """
 
     def __init__(self):
-        self._heap: List = []
-        self._seq = 0
+        #: wheel slot -> bucket (or None); slot index is ``when & mask``
+        self._wheel: List[Optional[list]] = [None] * _WHEEL_SLOTS
+        #: minheap of the distinct tick times occupying wheel slots
+        self._wheel_times: List[int] = []
+        #: start of the window the wheel covers (aligned to the wheel size)
+        self._base = 0
+        #: far-future calendar: {when: bucket} + minheap of its times
+        self._overflow: dict = {}
+        self._overflow_times: List[int] = []
+        #: drained bucket lists recycled here instead of reallocated
+        self._free: List[list] = []
+        #: bucket currently being drained (events scheduled for ``now``
+        #: append here so same-tick cascades stay FIFO) and its cursor
+        self._active: Optional[list] = None
+        self._active_pos = 0
         self.now = 0
         #: total events executed by :meth:`step`/:meth:`run` (drives the
         #: events/sec figure reported by the perf harness)
@@ -261,11 +336,60 @@ class Simulator:
 
     # -- scheduling -------------------------------------------------------
 
-    def _schedule_at(self, when: int, callback: Callable, value: Any) -> None:
-        if when < self.now:
-            raise SimulationError(f"scheduling into the past: {when} < {self.now}")
-        self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, callback, value))
+    def _schedule_at(self, when: int, what: Any, value: Any) -> None:
+        """Append ``(what, value)`` to the bucket for tick ``when``.
+
+        ``what`` is either a plain callable or a :class:`Process` (the
+        drain loop dispatches on type).  Events for the tick currently
+        being drained join the active bucket, which keeps same-instant
+        cascades in strict scheduling order.
+        """
+        now = self.now
+        if when <= now:
+            if when < now:
+                raise SimulationError(
+                    f"scheduling into the past: {when} < {now}"
+                )
+            bucket = self._active
+            if bucket is not None:
+                bucket.append(what)
+                bucket.append(value)
+                return
+        offset = when - self._base
+        if 0 <= offset < _WHEEL_SLOTS:
+            index = when & _WHEEL_MASK
+            bucket = self._wheel[index]
+            if bucket is None:
+                free = self._free
+                bucket = free.pop() if free else []
+                self._wheel[index] = bucket
+                heapq.heappush(self._wheel_times, when)
+            bucket.append(what)
+            bucket.append(value)
+        else:
+            self._schedule_overflow(when, what, value)
+
+    def _schedule_overflow(self, when: int, what: Any, value: Any) -> None:
+        """Slow path for events beyond the wheel window (or a stale base)."""
+        bucket = self._overflow.get(when)
+        if bucket is None:
+            free = self._free
+            bucket = free.pop() if free else []
+            if (
+                not self._wheel_times
+                and not self._overflow_times
+                and self._active is None
+            ):
+                # Nothing pending anywhere: slide the window straight to
+                # the new event instead of paying a migration later.
+                self._base = when & ~_WHEEL_MASK
+                self._wheel[when & _WHEEL_MASK] = bucket
+                heapq.heappush(self._wheel_times, when)
+            else:
+                self._overflow[when] = bucket
+                heapq.heappush(self._overflow_times, when)
+        bucket.append(what)
+        bucket.append(value)
 
     def call_at(self, when: float, callback: Callable, value: Any = _NO_VALUE) -> None:
         """Run ``callback()`` — or ``callback(value)`` if ``value`` is
@@ -321,46 +445,214 @@ class Simulator:
 
     # -- execution --------------------------------------------------------
 
-    def step(self) -> bool:
-        """Run a single event; return False when the heap is empty."""
-        if not self._heap:
-            return False
-        when, _seq, callback, value = heapq.heappop(self._heap)
+    def _next_bucket(self, until: Optional[int]) -> Optional[list]:
+        """Advance to the earliest pending tick and return its bucket.
+
+        Recycles an exhausted active bucket, migrates overflow pages into
+        the wheel when the window empties, honours ``until``, and sets
+        ``self.now``/``self._active`` for the drain.  Returns ``None``
+        when nothing (eligible) is pending.
+        """
+        bucket = self._active
+        if bucket is not None:
+            if self._active_pos < len(bucket):
+                if until is not None and self.now > until:
+                    return None
+                return bucket
+            del bucket[:]
+            free = self._free
+            if len(free) < 1024:
+                free.append(bucket)
+            self._active = None
+            self._active_pos = 0
+        times = self._wheel_times
+        overflow_times = self._overflow_times
+        if not times:
+            if not overflow_times:
+                return None
+            # The window is empty: slide it to the earliest overflow page
+            # and migrate every bucket that now fits — wholesale, the
+            # bucket list itself becomes the wheel slot.
+            base = self._base = overflow_times[0] & ~_WHEEL_MASK
+            horizon = base + _WHEEL_SLOTS
+            overflow = self._overflow
+            wheel = self._wheel
+            while overflow_times and overflow_times[0] < horizon:
+                when = heapq.heappop(overflow_times)
+                wheel[when & _WHEEL_MASK] = overflow.pop(when)
+                heapq.heappush(times, when)
+        when = times[0]
+        if overflow_times and overflow_times[0] < when:
+            # A stale window (base slid past ``now`` by an ``until``-bounded
+            # run) can leave near-term events in the overflow calendar;
+            # serve its bucket directly so order is preserved regardless.
+            when = overflow_times[0]
+            if until is not None and when > until:
+                return None
+            heapq.heappop(overflow_times)
+            bucket = self._overflow.pop(when)
+        else:
+            if until is not None and when > until:
+                return None
+            heapq.heappop(times)
+            index = when & _WHEEL_MASK
+            bucket = self._wheel[index]
+            self._wheel[index] = None
         self.now = when
+        self._active = bucket
+        self._active_pos = 0
+        return bucket
+
+    def step(self) -> bool:
+        """Run a single event; return False when nothing is pending."""
+        bucket = self._next_bucket(None)
+        if bucket is None:
+            return False
+        i = self._active_pos
+        what = bucket[i]
+        value = bucket[i + 1]
+        self._active_pos = i + 2
         self.events_executed += 1
-        callback(value)
+        cls = what.__class__
+        if cls is Process:
+            what._resume(value)
+        elif cls is Timeout or cls is Event:
+            what._trigger(value)
+        else:
+            what(value)
         return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
-        """Run until the heap drains, ``until`` is reached, or event budget ends."""
-        heap = self._heap
-        pop = heapq.heappop
+        """Run until the queue drains, ``until`` is reached, or event budget ends."""
+        if max_events is not None:
+            self._run_budget(until, max_events)
+            return
+        if until is not None:
+            until = int(round(until))
+        wheel = self._wheel
+        free = self._free
+        times = self._wheel_times
+        heappush = heapq.heappush
+        while True:
+            bucket = self._next_bucket(until)
+            if bucket is None:
+                break
+            now = self.now
+            base = self._base
+            i = self._active_pos
+            start = i
+            # Drain the whole tick.  The outer loop rechecks the length —
+            # entries appended mid-drain (same-tick cascades) extend the
+            # bucket past the hoisted bound, while the inner loop runs
+            # free of len() calls.  The finally clause keeps the cursor
+            # consistent when a callback raises, so remaining entries
+            # survive for a rerun.
+            try:
+              while True:
+                n = len(bucket)
+                if i >= n:
+                    break
+                while i < n:
+                    what = bucket[i]
+                    value = bucket[i + 1]
+                    i += 2
+                    if what.__class__ is Process:
+                        # Fused process resume (mirrors Process._resume).
+                        if not what._alive:
+                            continue
+                        try:
+                            target = what.generator.send(value)
+                        except StopIteration as stop:
+                            what._finish(stop.value)
+                            continue
+                        except BaseException as error:
+                            what.error = error
+                            what._finish(error)
+                            raise
+                        cls = target.__class__
+                        if cls is Delay:
+                            # Fused Delay reschedule: straight into the
+                            # destination bucket, no scheduler frames.
+                            when2 = now + target.ns
+                            if when2 == now:
+                                bucket.append(what)
+                                bucket.append(None)
+                            elif 0 <= when2 - base < _WHEEL_SLOTS:
+                                index = when2 & _WHEEL_MASK
+                                dest = wheel[index]
+                                if dest is None:
+                                    dest = free.pop() if free else []
+                                    wheel[index] = dest
+                                    heappush(times, when2)
+                                dest.append(what)
+                                dest.append(None)
+                            else:
+                                self._schedule_overflow(when2, what, None)
+                        elif cls is Timeout or cls is Event or cls is Process:
+                            if target._triggered:
+                                # Next-tick delivery at the current time:
+                                # the active bucket is exactly that.
+                                bucket.append(what)
+                                bucket.append(target._value)
+                            else:
+                                target._callbacks.append(what)
+                        elif isinstance(target, Waitable):
+                            target._subscribe(what)
+                        else:
+                            raise SimulationError(
+                                f"process {what.name!r} yielded "
+                                f"non-waitable {target!r}"
+                            )
+                    elif what.__class__ is Timeout or what.__class__ is Event:
+                        # Timeouts/Events are scheduled as themselves (no
+                        # per-schedule bound-method allocation).
+                        what._trigger(value)
+                    else:
+                        what(value)
+            finally:
+                self._active_pos = i
+                self.events_executed += (i - start) >> 1
+        if until is not None and until > self.now:
+            self.now = until
+
+    def _run_budget(self, until: Optional[float], max_events: int) -> None:
+        """The ``max_events``-bounded variant of :meth:`run` (slow path)."""
+        if until is not None:
+            until = int(round(until))
         events = 0
-        try:
-            if until is None:
-                while heap:
-                    when, _seq, callback, value = pop(heap)
-                    self.now = when
-                    events += 1
-                    callback(value)
-                    if max_events is not None and events >= max_events:
-                        return
+        while events < max_events:
+            bucket = self._next_bucket(until)
+            if bucket is None:
+                if until is not None and until > self.now:
+                    self.now = until
+                return
+            i = self._active_pos
+            what = bucket[i]
+            value = bucket[i + 1]
+            self._active_pos = i + 2
+            events += 1
+            self.events_executed += 1
+            cls = what.__class__
+            if cls is Process:
+                what._resume(value)
+            elif cls is Timeout or cls is Event:
+                what._trigger(value)
             else:
-                while heap:
-                    if heap[0][0] > until:
-                        self.now = int(round(until))
-                        return
-                    when, _seq, callback, value = pop(heap)
-                    self.now = when
-                    events += 1
-                    callback(value)
-                    if max_events is not None and events >= max_events:
-                        return
-                if until > self.now:
-                    self.now = int(round(until))
-        finally:
-            self.events_executed += events
+                what(value)
 
     def peek(self) -> Optional[int]:
         """Time of the next scheduled event, or None if idle."""
-        return self._heap[0][0] if self._heap else None
+        bucket = self._active
+        if bucket is not None and self._active_pos < len(bucket):
+            return self.now
+        times = self._wheel_times
+        overflow_times = self._overflow_times
+        if times:
+            # A stale window can leave near-term events in the overflow
+            # calendar (see _next_bucket) — the true head is the minimum.
+            if overflow_times and overflow_times[0] < times[0]:
+                return overflow_times[0]
+            return times[0]
+        if overflow_times:
+            return overflow_times[0]
+        return None

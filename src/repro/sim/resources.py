@@ -88,7 +88,10 @@ class FifoLock:
             # contention the SpinLock model exists to measure.
             self.total_wait_ns += self._sim.now + delay - enqueued_at
             if delay > 0:
-                self._sim.call_after(delay, ticket.fire, self)
+                # Schedule the Event object itself: the kernel dispatches
+                # Events natively, so no per-hand-off bound method
+                # (``ticket.fire``) is allocated on this hot path.
+                self._sim._schedule_at(self._sim.now + delay, ticket, self)
             else:
                 ticket.fire(self)
         else:

@@ -116,8 +116,13 @@ class OpenLoopEngine:
     def _arrival_loop(self, state: TenantState, arrival_seed: int):
         sim = self.sim
         stats = state.stats
+        # One recycled Delay per tenant: arrival gaps vary, but the
+        # kernel reads the gap at yield time, so re-arming a single
+        # instance avoids a per-arrival allocation on the open-loop
+        # fast path (past-knee sweeps offer millions of arrivals).
+        nap = sim.delay(0)
         for gap in state.spec.arrivals.gaps(arrival_seed):
-            yield sim.delay(gap)
+            yield nap.retime(gap)
             op = next(state.stream)
             stats.record_offer()
             self._offer(state, op, 0)

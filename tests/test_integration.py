@@ -106,3 +106,20 @@ class TestCli:
     def test_cli_rejects_unknown_policy(self):
         with pytest.raises(SystemExit):
             cli_main(["4", "4", "--policy", "nope"])
+
+    def test_cli_profile_writes_pstats_next_to_dump(self, tmp_path, capsys):
+        import pstats
+
+        dump = tmp_path / "out.csv"
+        code = cli_main([
+            "2", "2", "--measure-us", "100",
+            "--dump-file-path", str(dump), "--profile",
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        pstats_path = tmp_path / "out.pstats"
+        assert f"profile: wrote {pstats_path}" in printed
+        # The dump is a loadable pstats file naming the kernel hot loop.
+        stats = pstats.Stats(str(pstats_path))
+        assert any("core.py" in key[0] and key[2] == "run"
+                   for key in stats.stats)

@@ -7,11 +7,19 @@ on this to parallelize with ``--jobs``/``REPRO_JOBS`` without changing
 a single reported number.
 """
 
+import os
 import pickle
 
 import pytest
 
-from repro.bench.parallel import PointSpec, default_jobs, run_points
+from repro.bench.parallel import (
+    PointFailure,
+    PointSpec,
+    default_jobs,
+    register_experiment,
+    resolve_jobs,
+    run_points,
+)
 
 #: A small Fig-7-style grid: hash-table points across systems/threads,
 #: sized to keep the pooled run affordable in CI.
@@ -75,11 +83,78 @@ class TestRunPoints:
         assert default_jobs() == 1
         monkeypatch.setenv("REPRO_JOBS", "6")
         assert default_jobs() == 6
+        # 0 means "all cores", not "clamp to serial".
         monkeypatch.setenv("REPRO_JOBS", "0")
-        assert default_jobs() == 1
+        assert default_jobs() == (os.cpu_count() or 1)
         monkeypatch.setenv("REPRO_JOBS", "many")
         with pytest.raises(ValueError):
             default_jobs()
+        monkeypatch.setenv("REPRO_JOBS", "-2")
+        with pytest.raises(ValueError):
+            default_jobs()
+
+    def test_resolve_jobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(None) == 3
+        assert resolve_jobs(5) == 5
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+class TestFailurePropagation:
+    """A failing point must name its spec; a dead worker must not hang."""
+
+    def test_point_failure_carries_failing_spec(self):
+        register_experiment("run_boom", "tests._parallel_helpers")
+        register_experiment("run_ok", "tests._parallel_helpers")
+        grid = [
+            PointSpec("run_ok", dict(value=1)),
+            PointSpec("run_boom", dict(x=3), seed=11),
+            PointSpec("run_ok", dict(value=2)),
+        ]
+        with pytest.raises(PointFailure) as info:
+            run_points(grid, jobs=2, batch_size=1)
+        failure = info.value
+        assert failure.spec == grid[1]
+        assert failure.spec.fn == "run_boom"
+        assert failure.spec.kwargs == {"x": 3}
+        assert failure.spec.seed == 11
+        text = str(failure)
+        assert "run_boom" in text and "ValueError" in text
+        assert "worker traceback" in text
+        assert "boom x=3 seed=11" in failure.worker_traceback
+
+    def test_dead_worker_detected_instead_of_hanging(self):
+        register_experiment("run_exit", "tests._parallel_helpers")
+        register_experiment("run_ok", "tests._parallel_helpers")
+        grid = [PointSpec("run_exit", dict(code=7))] + [
+            PointSpec("run_ok", dict(value=i)) for i in range(6)
+        ]
+        with pytest.raises(PointFailure, match="died"):
+            run_points(grid, jobs=2, batch_size=1)
+
+    def test_pool_rebuilt_after_failure(self):
+        """The sweep after a failure gets a fresh pool and just works."""
+        register_experiment("run_ok", "tests._parallel_helpers")
+        grid = [PointSpec("run_ok", dict(value=i)) for i in range(8)]
+        assert run_points(grid, jobs=2, batch_size=2) == [
+            2 * i for i in range(8)
+        ]
+
+    def test_serial_failure_propagates_original_exception(self):
+        """jobs=1 runs in-process: the original exception (with its real
+        traceback) is more useful than a PointFailure wrapper there."""
+        register_experiment("run_boom", "tests._parallel_helpers")
+        with pytest.raises(ValueError, match="boom"):
+            run_points([PointSpec("run_boom", dict(x=1))], jobs=1)
+
+    def test_late_registration_reaches_warm_workers(self):
+        """Experiments registered *after* the pool forked must still
+        resolve in the workers (the registry snapshot rides each task)."""
+        register_experiment("run_ok_late", "tests._parallel_helpers")
+        grid = [PointSpec("run_ok_late", dict(value=i)) for i in range(4)]
+        assert run_points(grid, jobs=2, batch_size=1) == [0, 2, 4, 6]
 
 
 class TestSerialParallelEquivalence:

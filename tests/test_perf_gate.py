@@ -1,0 +1,101 @@
+"""The kernel perf-regression gate (benchmarks/perf_gate.py)."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_GATE_PATH = (
+    pathlib.Path(__file__).parent.parent / "benchmarks" / "perf_gate.py"
+)
+_spec = importlib.util.spec_from_file_location("perf_gate", _GATE_PATH)
+perf_gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(perf_gate)
+
+
+_BASELINE = {
+    "timeout_path_events_per_sec": 2_000_000.0,
+    "delay_path_events_per_sec": 4_000_000.0,
+    "grid_speedup": 2.0,
+    "cpu_count": 4,
+}
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def _run(tmp_path, fresh, baseline=_BASELINE, ratio=0.8):
+    return perf_gate.main([
+        "--fresh", _write(tmp_path, "fresh.json", fresh),
+        "--baseline", _write(tmp_path, "baseline.json", baseline),
+        "--ratio", str(ratio),
+    ])
+
+
+class TestCompare:
+    def test_equal_metrics_pass(self, tmp_path):
+        assert _run(tmp_path, dict(_BASELINE)) == 0
+
+    def test_small_drop_within_ratio_passes(self, tmp_path):
+        fresh = dict(_BASELINE)
+        fresh["timeout_path_events_per_sec"] *= 0.85
+        assert _run(tmp_path, fresh) == 0
+
+    def test_large_events_per_sec_drop_fails(self, tmp_path, capsys):
+        fresh = dict(_BASELINE)
+        fresh["timeout_path_events_per_sec"] *= 0.5
+        assert _run(tmp_path, fresh) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "timeout_path_events_per_sec" in out
+
+    def test_speedup_regression_fails(self, tmp_path, capsys):
+        fresh = dict(_BASELINE)
+        fresh["grid_speedup"] = 1.0  # pinned 2.0, floor 0.8x
+        assert _run(tmp_path, fresh) == 1
+        assert "grid_speedup" in capsys.readouterr().out
+
+    def test_speedup_null_on_multicore_fails(self, tmp_path, capsys):
+        fresh = dict(_BASELINE)
+        fresh["grid_speedup"] = None
+        assert _run(tmp_path, fresh) == 1
+        assert "became null" in capsys.readouterr().out
+
+    def test_speedup_null_on_single_core_skips(self, tmp_path):
+        fresh = dict(_BASELINE)
+        fresh["grid_speedup"] = None
+        fresh["cpu_count"] = 1
+        assert _run(tmp_path, fresh) == 0
+
+    def test_null_pinned_speedup_never_gates(self, tmp_path):
+        baseline = dict(_BASELINE)
+        baseline["grid_speedup"] = None
+        fresh = dict(_BASELINE)
+        fresh["grid_speedup"] = None
+        assert _run(tmp_path, fresh, baseline=baseline) == 0
+
+    def test_ratio_override(self, tmp_path):
+        fresh = dict(_BASELINE)
+        fresh["delay_path_events_per_sec"] *= 0.75
+        assert _run(tmp_path, fresh, ratio=0.8) == 1
+        assert _run(tmp_path, fresh, ratio=0.7) == 0
+
+    def test_missing_metric_skips(self, tmp_path):
+        fresh = dict(_BASELINE)
+        del fresh["delay_path_events_per_sec"]
+        assert _run(tmp_path, fresh) == 0
+
+
+class TestPinnedBaseline:
+    def test_committed_pin_exists_and_meets_issue_floor(self):
+        """The pinned baseline must reflect the timing-wheel kernel:
+        >= 3x the pre-wheel ~377k events/sec."""
+        pin = json.loads(
+            (_GATE_PATH.parent / "reference" / "BENCH_kernel.json")
+            .read_text()
+        )
+        assert pin["timeout_path_events_per_sec"] >= 3 * 377_000
+        assert pin["delay_path_events_per_sec"] >= 3 * 377_000
