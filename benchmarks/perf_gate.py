@@ -33,6 +33,7 @@ import sys
 THROUGHPUT_KEYS = (
     "timeout_path_events_per_sec",
     "delay_path_events_per_sec",
+    "allocator_ops_per_sec",
 )
 
 

@@ -90,6 +90,33 @@ def test_event_throughput_delay_path(benchmark):
         )
 
 
+# -- blade allocator churn -----------------------------------------------------
+
+
+def _allocator_churn(steps=40_000):
+    """Seeded alloc/free churn across the slab and arena layers."""
+    import random
+
+    from repro.memory.allocator import BladeAllocator
+
+    rng = random.Random(11)
+    blade = BladeAllocator(8, 64 << 20)
+    live = []
+    for _ in range(steps):
+        if live and rng.random() < 0.5:
+            blade.free(live.pop(rng.randrange(len(live))))
+        else:
+            live.append(blade.alloc(rng.choice((64, 100, 256, 1024, 4096, 8192))))
+    return steps
+
+
+def test_allocator_churn_throughput(benchmark):
+    ops = benchmark.pedantic(_allocator_churn, rounds=3, iterations=1)
+    per_sec = ops / benchmark.stats.stats.min
+    _metrics["allocator_ops_per_sec"] = per_sec
+    assert per_sec > 10_000  # sanity floor only
+
+
 # -- representative figure point ----------------------------------------------
 
 

@@ -18,6 +18,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.cluster import Node
 from repro.memory.address import make_addr
+from repro.memory.shard import ShardMap
 
 RECORD_HEADER_BYTES = 16
 _U64 = struct.Struct("<Q")
@@ -71,7 +72,8 @@ class TableInfo:
 class DtxServer:
     """Creates tables and log rings across the memory blades."""
 
-    def __init__(self, memory_nodes: Sequence[Node], replicas: int = 2):
+    def __init__(self, memory_nodes: Sequence[Node], replicas: int = 2,
+                 shard_map: "ShardMap" = None):
         if replicas not in (1, 2):
             raise ValueError("replicas must be 1 or 2")
         if replicas == 2 and len(memory_nodes) < 2:
@@ -80,6 +82,22 @@ class DtxServer:
         self.replicas = replicas
         self.tables: Dict[str, TableInfo] = {}
         self._log_count = 0
+        # With a shard map, partition -> blade placement comes off the
+        # consistent-hash ring instead of list order, so tables created
+        # after a scale-out land on the rebalanced fleet.
+        self.shard_map = shard_map
+        if shard_map is not None:
+            known = {n.node_id for n in memory_nodes}
+            missing = [b for b in shard_map.ring.members if b not in known]
+            if missing:
+                raise ValueError(f"shard map references unknown blades {missing}")
+
+    def _host_for_partition(self, index: int) -> Node:
+        """Blade hosting partition ``index`` (ring placement when sharded)."""
+        if self.shard_map is None:
+            return self.memory_nodes[index % len(self.memory_nodes)]
+        blade_id = self.shard_map.blade_for_shard(index % self.shard_map.num_shards)
+        return next(n for n in self.memory_nodes if n.node_id == blade_id)
 
     def create_table(
         self, name: str, item_count: int, payload_bytes: int,
@@ -95,13 +113,18 @@ class DtxServer:
         part_bytes = rows_per_part * record_bytes
 
         primary, backup = [], []
-        for i, node in enumerate(self.memory_nodes):
+        for i in range(parts):
+            node = self._host_for_partition(i)
             region = node.storage.alloc_region(
                 f"tbl_{name}_p{i}", part_bytes, persistent=True
             )
             primary.append((node.node_id, region.base))
             if self.replicas > 1:
-                bnode = self.memory_nodes[(i + 1) % parts]
+                # Backup on the next blade in fleet order — guaranteed to
+                # differ from the primary host.
+                bnode = self.memory_nodes[
+                    (self.memory_nodes.index(node) + 1) % len(self.memory_nodes)
+                ]
                 bregion = bnode.storage.alloc_region(
                     f"tbl_{name}_b{i}", part_bytes, persistent=True
                 )

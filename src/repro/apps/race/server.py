@@ -41,6 +41,7 @@ class HashTableServer:
         segments: int = 64,
         buckets_per_segment: int = 512,
         heap_bytes_per_blade: int = 8 << 20,
+        region_prefix: str = "race_",
     ):
         if segments & (segments - 1):
             raise ValueError("segments must be a power of two")
@@ -49,25 +50,30 @@ class HashTableServer:
         self.buckets_per_segment = buckets_per_segment
         self.global_depth = int(math.log2(segments))
         self._segment_bytes = layout.segment_bytes(buckets_per_segment)
+        # Region names are prefixed so many table instances (one per
+        # shard in the sharded service) can coexist on the same blades.
+        self.region_prefix = region_prefix
 
         primary = self.memory_nodes[0].storage
         dir_capacity = segments * 16  # room for a few doublings
         self._dir_region = primary.alloc_region(
-            "race_dir", layout.DIR_HEADER_BYTES + dir_capacity * 8
+            f"{region_prefix}dir", layout.DIR_HEADER_BYTES + dir_capacity * 8
         )
         self.segment_addrs: List[int] = []
         self._segment_regions = {}
         for node in self.memory_nodes:
             count = self._segments_on(node)
             region = node.storage.alloc_region(
-                "race_segments", count * self._segment_bytes
+                f"{region_prefix}segments", count * self._segment_bytes
             )
             self._segment_regions[node.node_id] = region
 
         self.heaps: Dict[int, Tuple[int, int, int]] = {}
         for node in self.memory_nodes:
-            head = node.storage.alloc_region("race_heap_head", 8)
-            heap = node.storage.alloc_region("race_heap", heap_bytes_per_blade)
+            head = node.storage.alloc_region(f"{region_prefix}heap_head", 8)
+            heap = node.storage.alloc_region(
+                f"{region_prefix}heap", heap_bytes_per_blade
+            )
             node.storage.write_u64(head.base, heap.base)
             self.heaps[node.node_id] = (
                 make_addr(node.node_id, head.base),
@@ -76,6 +82,24 @@ class HashTableServer:
             )
 
         self._init_directory()
+
+    def free_regions(self) -> int:
+        """Release every region this table carved — the teardown side of
+        shard migration.  Returns the number of bytes returned to the
+        blade allocators (which zero and make them reusable)."""
+        freed = 0
+        primary = self.memory_nodes[0].storage
+        freed += self._dir_region.size
+        primary.free_region(self._dir_region.name)
+        for node in self.memory_nodes:
+            region = self._segment_regions[node.node_id]
+            freed += region.size
+            node.storage.free_region(region.name)
+            for suffix in ("heap_head", "heap"):
+                name = f"{self.region_prefix}{suffix}"
+                freed += node.storage.region(name).size
+                node.storage.free_region(name)
+        return freed
 
     def _segments_on(self, node: Node) -> int:
         """Segments hosted by ``node`` (round-robin placement)."""
@@ -138,12 +162,12 @@ class HashTableServer:
         for key, value in items:
             dir_index = layout.directory_index(key, self.global_depth)
             seg_addr = self.segment_addrs[dir_index]
-            blade_id = (seg_addr >> 48) - 1
-            seg_offset = seg_addr & ((1 << 48) - 1)
+            blade_id = blade_of(seg_addr)
+            seg_offset = offset_of(seg_addr)
             storage = node_by_id[blade_id].storage
             # Allocate the KV block by bumping the blade's heap head.
             head_addr, _, heap_end = self.heaps[blade_id]
-            head_offset = head_addr & ((1 << 48) - 1)
+            head_offset = offset_of(head_addr)
             kv_offset = storage.read_u64(head_offset)
             if kv_offset + layout.KV_BLOCK_BYTES > heap_end:
                 raise MemoryError(f"heap exhausted on blade {blade_id}")

@@ -28,6 +28,13 @@ independent simulation points out over a process pool.
 A single run prints one row per tenant; ``--sweep`` runs the
 ``latency_throughput`` knee-finder experiment over the given offered
 rates instead.
+
+``resharding`` migrates shards of a live table between blades online,
+under the same open-loop traffic, and prints per-tenant queue delay
+for the before/during/after phases::
+
+    python -m repro.bench.cli resharding --mode add_blade
+    python -m repro.bench.cli resharding --mode drain --json out.json
 """
 
 from __future__ import annotations
@@ -198,6 +205,108 @@ def build_traffic_parser() -> argparse.ArgumentParser:
                         help="run under cProfile and write a pstats dump next "
                              "to the result JSON")
     return parser
+
+
+def build_resharding_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench resharding",
+        description="online shard migration under live open-loop traffic "
+                    "(sharded hash table; blade join / drain / autoscale)",
+    )
+    parser.add_argument("--mode", choices=("add_blade", "drain", "autoscale"),
+                        default="add_blade")
+    parser.add_argument("--rate", type=float, default=0.4,
+                        help="offered load in MOPS, split across tenants")
+    parser.add_argument("--tenants", type=int, default=1,
+                        help="tenant count; each gets rate/N and workers/N")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="total worker coroutines across tenants")
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--memory-blades", type=int, default=2)
+    parser.add_argument("--shards", type=int, default=8)
+    parser.add_argument("--item-count", type=int, default=2_000)
+    parser.add_argument("--warmup-us", type=float, default=500.0)
+    parser.add_argument("--phase-us", type=float, default=1000.0,
+                        help="length of each measured phase "
+                             "(before / during / after), simulated us")
+    parser.add_argument("--slo-p99-us", type=float, default=None,
+                        help="per-tenant p99 target; enables admission control")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the result as JSON to PATH")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and write a pstats dump next "
+                             "to the result JSON")
+    return parser
+
+
+def run_resharding_cmd(argv: List[str]) -> int:
+    args = build_resharding_parser().parse_args(argv)
+    if args.tenants < 1:
+        print("--tenants must be >= 1", file=sys.stderr)
+        return 2
+    if args.profile:
+        return run_profiled(profile_path_for(args),
+                            lambda: _run_resharding(args))
+    return _run_resharding(args)
+
+
+def _run_resharding(args) -> int:
+    import json
+
+    from repro.bench.report import format_table
+    from repro.traffic import (
+        NO_SLO, PoissonArrivals, Slo, TenantSpec, run_resharding,
+    )
+
+    slo = (NO_SLO if args.slo_p99_us is None
+           else Slo(target_p99_ns=args.slo_p99_us * 1e3, policy="shed"))
+    workers_each = max(1, args.workers // args.tenants)
+    tenants = [
+        TenantSpec(f"t{i}", PoissonArrivals(args.rate / args.tenants),
+                   slo=slo, workers=workers_each)
+        for i in range(args.tenants)
+    ]
+
+    started = time.time()  # lint: disable=SIM001 (host wall clock)
+    result = run_resharding(
+        tenants=tenants, mode=args.mode, threads=args.threads,
+        memory_blades=args.memory_blades, num_shards=args.shards,
+        item_count=args.item_count, warmup_ns=args.warmup_us * 1e3,
+        phase_ns=args.phase_us * 1e3, seed=args.seed,
+    )
+    wall_s = time.time() - started  # lint: disable=SIM001 (host wall clock)
+
+    headers = ["phase", "tenant", "completed", "shed", "deferred",
+               "queue_p50_us", "queue_p99_us"]
+    rows = [
+        [p.phase, p.tenant, p.completed, p.shed, p.deferred,
+         (p.queue_p50_ns or 0) / 1e3, (p.queue_p99_ns or 0) / 1e3]
+        for p in result.phases
+    ]
+    print(format_table(
+        headers, rows,
+        title=f"resharding ({result.mode}): queue delay around the rebalance",
+    ))
+    migration = result.migration_ns
+    print(f"moves={len(result.moves)}, keys_copied={result.keys_copied}, "
+          f"keys_skipped={result.keys_skipped}, "
+          f"mirror_writes={result.mirror_writes}, "
+          f"bytes_freed={result.bytes_freed}, "
+          f"blades {result.blades_before}->{result.blades_after}")
+    if migration is not None:
+        print(f"migration took {migration / 1e3:.1f} us "
+              f"(alloc p50={result.alloc_p50_ns or 0:.0f} ns over "
+              f"{result.alloc_count} region allocs)")
+    else:
+        print("no migration was triggered")
+    print(f"wall time={wall_s:.1f} s")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
 
 
 _WORKLOADS = {
@@ -379,6 +488,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "traffic":
         return run_traffic(argv[1:])
+    if argv and argv[0] == "resharding":
+        return run_resharding_cmd(argv[1:])
     args = build_parser().parse_args(argv)
     if args.figure:
         if args.trace or args.metrics_out:

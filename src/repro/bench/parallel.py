@@ -50,6 +50,7 @@ _REGISTRY: Dict[str, str] = {
     "run_dtx": "repro.bench.runner",
     "run_btree": "repro.bench.runner",
     "run_open_loop": "repro.traffic.runner",
+    "run_resharding": "repro.traffic.resharding",
 }
 
 

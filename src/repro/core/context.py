@@ -82,11 +82,16 @@ class SmartContext:
         self.context.register_mr()
 
         self.pools: Dict[int, QpPool] = {}
+        self.cqs: Dict[int, CompletionQueue] = {}
         for thread in threads:
             self._connect_thread(thread)
+        # Let elasticity machinery (autoscaler, migrator) find the
+        # allocator that owns this node's QPs.
+        compute_node.smart_context = self
 
     def _connect_thread(self, thread: ComputeThread) -> None:
         cq = CompletionQueue(self.compute_node.sim, name=f"cq-t{thread.thread_id}")
+        self.cqs[thread.thread_id] = cq
         if self.features.thread_aware_alloc:
             doorbell = self.context.uar.skip_to_fresh_medium()
             pool = QpPool(self.context, doorbell, cq)
@@ -98,6 +103,25 @@ class SmartContext:
             # round-robin, silently sharing them between threads.
             for remote in self.memory_nodes:
                 thread.qps[remote.node_id] = self.context.create_qp(remote, cq=cq)
+
+    def connect_node(self, remote: Node) -> None:
+        """Wire every thread to a blade added after initial setup.
+
+        Scale-out path: a new memory blade joins the fleet mid-run and
+        each compute thread needs a QP to it before shards can land
+        there.  Idempotent per remote."""
+        if any(n.node_id == remote.node_id for n in self.memory_nodes):
+            return
+        self.memory_nodes.append(remote)
+        for thread in self.compute_node.threads:
+            if self.features.thread_aware_alloc:
+                thread.qps[remote.node_id] = (
+                    self.pools[thread.thread_id].acquire(remote)
+                )
+            else:
+                thread.qps[remote.node_id] = self.context.create_qp(
+                    remote, cq=self.cqs[thread.thread_id]
+                )
 
     def pool_for(self, thread: ComputeThread) -> QpPool:
         return self.pools[thread.thread_id]

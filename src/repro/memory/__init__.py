@@ -4,23 +4,48 @@ A memory blade owns a flat byte space carved into regions (DRAM or NVM).
 One-sided operations (READ/WRITE/CAS/FAA) execute atomically at a single
 simulated instant, which is exactly the atomicity an RNIC provides for
 8-byte atomics and cacheline-sized accesses.
+
+On top of the flat byte space sit the pieces that make the layer
+*elastic*: slab/arena allocation with free/reuse (:mod:`.allocator`),
+lease-based client ownership (:mod:`.lease`), and consistent-hash
+sharding with rebalance plans (:mod:`.shard`).
 """
 
 from repro.memory.address import (
     BLADE_SHIFT,
+    MAX_BLADE_ID,
     NULL_ADDR,
+    OFFSET_MASK,
     blade_of,
     make_addr,
     offset_of,
 )
+from repro.memory.allocator import ArenaAllocator, BladeAllocator, SlabAllocator
 from repro.memory.blade import MemoryBlade, Region
+from repro.memory.elastic import Autoscaler, ScaleEvent
+from repro.memory.lease import Lease, LeaseError, LeaseManager
+from repro.memory.shard import HashRing, ShardMap, ShardMove, shard_of
 
 __all__ = [
+    "ArenaAllocator",
+    "Autoscaler",
     "BLADE_SHIFT",
+    "BladeAllocator",
+    "ScaleEvent",
+    "HashRing",
+    "Lease",
+    "LeaseError",
+    "LeaseManager",
+    "MAX_BLADE_ID",
     "MemoryBlade",
     "NULL_ADDR",
+    "OFFSET_MASK",
     "Region",
+    "ShardMap",
+    "ShardMove",
+    "SlabAllocator",
     "blade_of",
     "make_addr",
     "offset_of",
+    "shard_of",
 ]

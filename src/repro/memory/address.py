@@ -3,18 +3,24 @@
 Applications store these addresses inside 8-byte slots (RACE bucket slots,
 B+Tree child pointers), so the encoding must round-trip through the byte
 representation used by the simulated memory.
+
+The top 16 bits hold ``blade_id + 1`` (the bias keeps every valid address
+non-zero so 0 can serve as the null pointer), which is why the largest
+encodable blade id is ``2**16 - 2``, not ``2**16 - 1``.
 """
 
 from __future__ import annotations
 
 BLADE_SHIFT = 48
 OFFSET_MASK = (1 << BLADE_SHIFT) - 1
+#: largest blade id the 16-bit field can carry once the +1 bias is applied
+MAX_BLADE_ID = (1 << 16) - 2
 NULL_ADDR = 0
 
 
 def make_addr(blade_id: int, offset: int) -> int:
     """Pack a (blade, offset) pair into one 64-bit global address."""
-    if not 0 <= blade_id < (1 << 15):
+    if not 0 <= blade_id <= MAX_BLADE_ID:
         raise ValueError(f"blade_id out of range: {blade_id}")
     if not 0 <= offset <= OFFSET_MASK:
         raise ValueError(f"offset out of range: {offset}")

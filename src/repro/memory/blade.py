@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.memory.address import make_addr
+from repro.memory.allocator import BladeAllocator
 
 _U64 = struct.Struct("<Q")
 U64_MAX = (1 << 64) - 1
@@ -35,7 +36,9 @@ class Region:
         return self.base + self.size
 
     def contains(self, offset: int, size: int = 1) -> bool:
-        return self.base <= offset and offset + size <= self.end
+        # size >= 1 keeps zero-byte "accesses" at offset == end from
+        # passing protection (a region never contains its one-past-end).
+        return size >= 1 and self.base <= offset and offset + size <= self.end
 
 
 class MemoryBlade:
@@ -52,7 +55,10 @@ class MemoryBlade:
         self.capacity = capacity
         self._memory = bytearray(capacity)
         self._regions: Dict[str, Region] = {}
-        self._next_free = 8  # offset 0 reserved so no object lives at NULL
+        # Offset 0 is reserved so no object lives at NULL; regions are
+        # carved from a first-fit arena that places them exactly like the
+        # historical bump pointer until something is freed.
+        self.allocator = BladeAllocator(8, capacity)
         # Statistics
         self.reads = 0
         self.writes = 0
@@ -64,19 +70,35 @@ class MemoryBlade:
 
     def alloc_region(self, name: str, size: int, persistent: bool = False,
                      remote_access: bool = True) -> Region:
-        """Carve a fresh region; regions are never freed (server-side arena)."""
+        """Carve a fresh region (cacheline-aligned, freeable via free_region)."""
         if name in self._regions:
             raise ValueError(f"region {name!r} already exists")
-        aligned = (self._next_free + 63) & ~63  # cacheline-align regions
-        if aligned + size > self.capacity:
+        if size <= 0:
+            raise ValueError(f"region size must be positive, got {size}")
+        try:
+            base = self.allocator.alloc(size, align=64, prefer_slab=False)
+        except MemoryError:
             raise MemoryError(
                 f"blade {self.blade_id}: out of memory allocating {name!r} "
-                f"({size} bytes, {self.capacity - aligned} free)"
-            )
-        region = Region(name, aligned, size, persistent, remote_access)
+                f"({size} bytes requested, {self.allocator.free_bytes} free, "
+                f"largest block {self.allocator.largest_free_block})"
+            ) from None
+        region = Region(name, base, size, persistent, remote_access)
         self._regions[name] = region
-        self._next_free = aligned + size
         return region
+
+    def free_region(self, name: str) -> None:
+        """Release a region's space for reuse and scrub its content.
+
+        Freed bytes are zeroed so a later allocation can never observe a
+        previous tenant's data — and so replay stays deterministic even if
+        a straggler READ races the free (it sees zeroes, not stale state).
+        """
+        region = self._regions.pop(name, None)
+        if region is None:
+            raise KeyError(f"no region named {name!r}")
+        self.allocator.free(region.base)
+        self._memory[region.base : region.end] = bytes(region.size)
 
     def find_region(self, offset: int, size: int = 1) -> Optional[Region]:
         """The region fully containing [offset, offset+size), if any."""
@@ -122,6 +144,10 @@ class MemoryBlade:
     # -- data operations -----------------------------------------------------
 
     def _check(self, offset: int, size: int) -> None:
+        if size <= 0:
+            raise IndexError(
+                f"blade {self.blade_id}: access size must be positive, got {size}"
+            )
         if offset < 0 or offset + size > self.capacity:
             raise IndexError(
                 f"blade {self.blade_id}: access [{offset}, {offset + size}) "

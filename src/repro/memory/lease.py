@@ -1,0 +1,123 @@
+"""Lease-based client ownership of remote-memory allocations.
+
+Disaggregated allocators cannot rely on client liveness: a compute node
+that crashes (or is shed by admission control) must not leak blade memory
+forever.  Ownership is therefore a *lease* — a (client, resource) claim
+with an expiry in simulated time.  Clients renew while alive; anything
+past expiry is reclaimable by the control plane.
+
+The manager is passive bookkeeping like the rest of :mod:`repro.memory`:
+it never touches the event loop or RNG, callers pass in ``now`` (usually
+``sim.now``), so identical call sequences replay bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: default lease term — long relative to op latency, short vs. a run
+DEFAULT_TERM_NS = 50_000_000  # 50 ms
+
+
+@dataclass
+class Lease:
+    """One client's claim on one named resource."""
+
+    resource: str
+    client: str
+    granted_ns: int
+    expires_ns: int
+    renewals: int = 0
+
+    def live(self, now: int) -> bool:
+        return now < self.expires_ns
+
+
+class LeaseError(Exception):
+    """Raised on conflicting grants or operations on missing leases."""
+
+
+class LeaseManager:
+    """Grant/renew/release leases; expose expired ones for reclaim."""
+
+    def __init__(self, term_ns: int = DEFAULT_TERM_NS):
+        if term_ns <= 0:
+            raise ValueError(f"lease term must be positive, got {term_ns}")
+        self.term_ns = term_ns
+        self._leases: Dict[str, Lease] = {}
+        # Statistics
+        self.grants = 0
+        self.renewals = 0
+        self.releases = 0
+        self.reclaims = 0
+        self.conflicts = 0
+
+    def grant(self, resource: str, client: str, now: int,
+              term_ns: Optional[int] = None) -> Lease:
+        """Grant ``resource`` to ``client``; a live lease by another
+        client conflicts, an expired one is implicitly reclaimed."""
+        existing = self._leases.get(resource)
+        if existing is not None:
+            if existing.live(now) and existing.client != client:
+                self.conflicts += 1
+                raise LeaseError(
+                    f"{resource!r} leased to {existing.client!r} "
+                    f"until t={existing.expires_ns}"
+                )
+            if not existing.live(now):
+                self.reclaims += 1
+        term = self.term_ns if term_ns is None else term_ns
+        lease = Lease(resource, client, now, now + term)
+        self._leases[resource] = lease
+        self.grants += 1
+        return lease
+
+    def renew(self, resource: str, client: str, now: int) -> Lease:
+        lease = self._leases.get(resource)
+        if lease is None or lease.client != client:
+            raise LeaseError(f"{client!r} holds no lease on {resource!r}")
+        if not lease.live(now):
+            raise LeaseError(f"lease on {resource!r} expired at t={lease.expires_ns}")
+        lease.expires_ns = now + self.term_ns
+        lease.renewals += 1
+        self.renewals += 1
+        return lease
+
+    def release(self, resource: str, client: str) -> None:
+        lease = self._leases.get(resource)
+        if lease is None or lease.client != client:
+            raise LeaseError(f"{client!r} holds no lease on {resource!r}")
+        del self._leases[resource]
+        self.releases += 1
+
+    def holder(self, resource: str, now: int) -> Optional[str]:
+        lease = self._leases.get(resource)
+        if lease is None or not lease.live(now):
+            return None
+        return lease.client
+
+    def expired(self, now: int) -> List[Lease]:
+        """Leases past expiry, in grant order — the reclaim worklist."""
+        return [l for l in self._leases.values() if not l.live(now)]
+
+    def reclaim_expired(self, now: int) -> List[Lease]:
+        """Drop every expired lease and return them (deterministic order)."""
+        dead = self.expired(now)
+        for lease in dead:
+            del self._leases[lease.resource]
+            self.reclaims += 1
+        return dead
+
+    def live_count(self, now: int) -> int:
+        return sum(1 for l in self._leases.values() if l.live(now))
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "grants": self.grants,
+            "renewals": self.renewals,
+            "releases": self.releases,
+            "reclaims": self.reclaims,
+            "conflicts": self.conflicts,
+            "outstanding": len(self._leases),
+        }

@@ -171,6 +171,14 @@ class Observability:
         if queue_hist is not None and queue_hist.count:
             registry.adopt_histogram(f"{prefix}.queue_delay_ns", queue_hist)
 
+    def collect_memory(self, cluster) -> None:
+        """Snapshot every blade allocator's occupancy/fragmentation
+        statistics (pull-based — never perturbs simulated behaviour)."""
+        for node in cluster.nodes:
+            node.storage.allocator.publish_metrics(
+                self.registry, f"memory.blade{node.node_id}"
+            )
+
     def phase_breakdown(self, cluster=None) -> Optional[Dict[str, float]]:
         """Batch-weighted per-segment means across the attached devices."""
         clusters = [cluster] if cluster is not None else self._clusters

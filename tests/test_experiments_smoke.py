@@ -85,7 +85,7 @@ class TestRegistry:
         assert set(exp.ALL_EXPERIMENTS) == {
             "fig3", "fig4", "fig5", "fig7", "fig8", "fig9",
             "fig10", "fig11", "fig12", "fig13", "table1", "fig14",
-            "latency_throughput", "chaos",
+            "latency_throughput", "resharding", "chaos",
         }
 
     def test_grid_switch(self, monkeypatch):

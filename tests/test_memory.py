@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.memory import MemoryBlade, blade_of, make_addr, offset_of
-from repro.memory.address import NULL_ADDR
+from repro.memory.address import MAX_BLADE_ID, NULL_ADDR, OFFSET_MASK
 
 
 class TestAddress:
@@ -17,7 +17,20 @@ class TestAddress:
     def test_never_null(self):
         assert make_addr(0, 0) != NULL_ADDR
 
-    @given(st.integers(0, 2**15 - 1), st.integers(0, 2**48 - 1))
+    def test_roundtrip_at_both_bounds(self):
+        # The docstring promises 16 bits of blade id; the +1 null bias
+        # costs one value, so the extremes are 0 and 2**16 - 2.
+        assert MAX_BLADE_ID == (1 << 16) - 2
+        for blade in (0, MAX_BLADE_ID):
+            for offset in (0, OFFSET_MASK):
+                addr = make_addr(blade, offset)
+                assert blade_of(addr) == blade
+                assert offset_of(addr) == offset
+                assert addr != NULL_ADDR
+        # The top encoding still fits 64 bits.
+        assert make_addr(MAX_BLADE_ID, OFFSET_MASK) < (1 << 64)
+
+    @given(st.integers(0, 2**16 - 2), st.integers(0, 2**48 - 1))
     @settings(max_examples=100, deadline=None)
     def test_roundtrip_property(self, blade, offset):
         addr = make_addr(blade, offset)
@@ -29,7 +42,7 @@ class TestAddress:
         with pytest.raises(ValueError):
             make_addr(-1, 0)
         with pytest.raises(ValueError):
-            make_addr(1 << 15, 0)
+            make_addr(MAX_BLADE_ID + 1, 0)
         with pytest.raises(ValueError):
             make_addr(0, 1 << 48)
         with pytest.raises(ValueError):
@@ -62,6 +75,39 @@ class TestRegions:
         with pytest.raises(MemoryError):
             blade.alloc_region("big", 4096)
 
+    def test_oom_message_reports_true_free_space(self):
+        # Regression: the bump-pointer arena reported capacity - aligned,
+        # which went negative once the aligned base passed capacity.
+        blade = MemoryBlade(0, capacity=1024)
+        blade.alloc_region("fill", 1024 - 64)  # ends exactly at capacity
+        with pytest.raises(MemoryError) as exc:
+            blade.alloc_region("more", 128)
+        message = str(exc.value)
+        assert "-" not in message.split("blade 0:")[1]
+        assert f"{blade.allocator.free_bytes} free" in message
+
+    def test_allocation_landing_exactly_at_capacity(self):
+        blade = MemoryBlade(0, capacity=1024)
+        region = blade.alloc_region("exact", 1024 - 64)
+        assert region.base == 64
+        assert region.end == 1024
+        blade.write(region.end - 8, b"12345678")  # last byte usable
+        with pytest.raises(MemoryError):
+            blade.alloc_region("one_more", 1)
+
+    def test_free_region_reuses_space(self):
+        blade = MemoryBlade(0, capacity=4096)
+        a = blade.alloc_region("a", 512)
+        blade.write(a.base, b"\xff" * 512)
+        blade.free_region("a")
+        # Freed space is scrubbed and immediately reusable at the same
+        # spot (first-fit, address-ordered).
+        b = blade.alloc_region("b", 512)
+        assert b.base == a.base
+        assert blade.read(b.base, 512) == bytes(512)
+        with pytest.raises(KeyError):
+            blade.free_region("a")
+
     def test_persistence_flag(self):
         blade = MemoryBlade(0, capacity=1 << 20)
         dram = blade.alloc_region("dram", 128)
@@ -76,6 +122,27 @@ class TestRegions:
         assert region.contains(region.base, 64)
         assert not region.contains(region.base, 65)
         assert not region.contains(region.base - 1)
+
+    def test_zero_size_not_contained_at_region_end(self):
+        # Regression: contains(end, 0) used to pass (base <= end and
+        # end + 0 <= end), letting zero-byte "accesses" through at the
+        # one-past-end address.
+        blade = MemoryBlade(0, capacity=1 << 20)
+        region = blade.alloc_region("r", 64)
+        assert not region.contains(region.end, 0)
+        assert not region.contains(region.base, 0)
+        assert not region.contains(region.base, -8)
+        assert blade.find_region(region.end, 0) is None
+        assert blade.find_region(region.base, 64) is region
+
+    def test_data_ops_reject_non_positive_size(self):
+        blade = MemoryBlade(0, capacity=1024)
+        with pytest.raises(IndexError):
+            blade.read(0, 0)
+        with pytest.raises(IndexError):
+            blade.read(64, -8)
+        with pytest.raises(IndexError):
+            blade.write(64, b"")
 
 
 class TestDataOps:
@@ -109,6 +176,37 @@ class TestDataOps:
         blade.write_u64(8, (1 << 64) - 1)
         assert blade.fetch_and_add(8, 2) == (1 << 64) - 1
         assert blade.read_u64(8) == 1
+
+    def test_faa_negative_delta_wraps(self):
+        blade = MemoryBlade(0)
+        blade.write_u64(8, 1)
+        assert blade.fetch_and_add(8, -3) == 1
+        assert blade.read_u64(8) == (1 << 64) - 2
+
+    def test_cas_masks_desired_to_64_bits(self):
+        blade = MemoryBlade(0)
+        blade.write_u64(8, 5)
+        # A desired value past 2**64 must be stored masked, not raise.
+        assert blade.compare_and_swap(8, 5, (1 << 64) + 7) == 5
+        assert blade.read_u64(8) == 7
+
+    def test_power_fail_with_adjacent_persistent_regions(self):
+        # Two NVM regions that sit back-to-back (after 64 B alignment
+        # they are contiguous): the zeroing sweep must not wipe the
+        # second region or the gap logic between them.
+        blade = MemoryBlade(0, capacity=4096)
+        first = blade.alloc_region("nvm1", 64, persistent=True)
+        second = blade.alloc_region("nvm2", 64, persistent=True)
+        assert first.end == second.base  # genuinely adjacent
+        tail = blade.alloc_region("dram", 64)
+        blade.write(first.base, b"\x11" * 64)
+        blade.write(second.base, b"\x22" * 64)
+        blade.write(tail.base, b"\x33" * 64)
+        blade.power_fail()
+        assert blade.read(first.base, 64) == b"\x11" * 64
+        assert blade.read(second.base, 64) == b"\x22" * 64
+        assert blade.read(tail.base, 64) == bytes(64)
+        assert blade.power_failures == 1
 
     def test_bounds_checked(self):
         blade = MemoryBlade(0, capacity=128)
