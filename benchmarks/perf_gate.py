@@ -34,6 +34,10 @@ THROUGHPUT_KEYS = (
     "timeout_path_events_per_sec",
     "delay_path_events_per_sec",
     "allocator_ops_per_sec",
+    # Simulated MOPS of the ODP+merge microbench point.  Deterministic
+    # (machine-independent), so any drift below the floor means the
+    # ODP/merging cost model changed — not that the host was slow.
+    "odp_merge_point_mops",
 )
 
 

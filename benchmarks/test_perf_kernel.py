@@ -136,6 +136,31 @@ def test_figure_point_wallclock(benchmark):
     assert result.throughput_mops > 0
 
 
+# -- ODP + doorbell-merging microbench point ----------------------------------
+
+
+def _odp_merge_point():
+    from repro.bench.microbench import run_microbench
+
+    return run_microbench(
+        policy="per-thread-db", threads=8, depth=16, payload=64,
+        op="read", access="seq", pinned_ratio=0.5, merge_wrs=True,
+        adaptive_poll=True, warmup_ns=0.2e6, measure_ns=0.6e6,
+    )
+
+
+def test_odp_merge_point_wallclock(benchmark):
+    result = benchmark.pedantic(_odp_merge_point, rounds=1, iterations=1)
+    _metrics["odp_merge_point_wall_s"] = benchmark.stats.stats.min
+    # Simulated throughput is deterministic (machine-independent), so the
+    # perf gate can pin it exactly: any drift means the ODP/merge cost
+    # model changed, not that the host was slow.
+    _metrics["odp_merge_point_mops"] = result.throughput_mops
+    assert result.throughput_mops > 0
+    assert result.odp_faults > 0, "pinned_ratio=0.5 must fault"
+    assert result.merged_wrs > 0, "seq access must merge"
+
+
 # -- parallel sweep speedup ----------------------------------------------------
 
 

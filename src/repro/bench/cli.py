@@ -35,6 +35,12 @@ for the before/during/after phases::
 
     python -m repro.bench.cli resharding --mode add_blade
     python -m repro.bench.cli resharding --mode drain --json out.json
+
+``odp`` sweeps the on-demand-paging pinned ratio against the
+outstanding-WR count, with and without doorbell request merging::
+
+    python -m repro.bench.cli odp --ratios 1.0,0.5 --depths 4,32
+    python -m repro.bench.cli odp --json odp.json
 """
 
 from __future__ import annotations
@@ -105,6 +111,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--measure-us", type=float, default=1500.0,
                         help="measured window, simulated microseconds")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--access", choices=("random", "seq"), default="random",
+                        help="remote address pattern per batch; 'seq' makes "
+                             "WRs contiguous (mergeable)")
+    parser.add_argument("--pinned-ratio", type=float, default=None,
+                        metavar="R",
+                        help="fraction of pages with pinned translations; "
+                             "the rest fault on demand (default: 1.0)")
+    parser.add_argument("--merge-wrs", action="store_true",
+                        help="fuse address-contiguous WRs into one wire "
+                             "message (RDMAbox-style request merging)")
+    parser.add_argument("--adaptive-poll", action="store_true",
+                        help="spin-then-yield CQ polling with amortized "
+                             "batch drain")
     parser.add_argument("--faults", default=None, metavar="SPEC",
                         help="fault schedule: 'seeded' or clause list, e.g. "
                              "'loss=0.02@0.5ms+1ms,crash=1@0.8ms+0.4ms' "
@@ -309,6 +328,67 @@ def _run_resharding(args) -> int:
     return 0
 
 
+def build_odp_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench odp",
+        description="ODP pinned-ratio sweep x outstanding-WR count, with "
+                    "and without RDMAbox-style doorbell request merging",
+    )
+    parser.add_argument("--ratios", default=None, metavar="R1,R2,...",
+                        help="pinned ratios to sweep (default: quick grid "
+                             "1.0,0.75,0.5; REPRO_FULL=1 widens it)")
+    parser.add_argument("--depths", default=None, metavar="D1,D2,...",
+                        help="outstanding-WR depths to sweep "
+                             "(default: quick grid 4,32)")
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--block-size", type=int, default=64, metavar="BYTES")
+    parser.add_argument("--measure-us", type=float, default=1000.0,
+                        help="measurement window per point, simulated us")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="process-pool workers (0 = all cores)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the result as JSON to PATH")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and write a pstats dump next "
+                             "to the result JSON")
+    return parser
+
+
+def run_odp_cmd(argv: List[str]) -> int:
+    args = build_odp_parser().parse_args(argv)
+    if args.profile:
+        return run_profiled(profile_path_for(args), lambda: _run_odp(args))
+    return _run_odp(args)
+
+
+def _run_odp(args) -> int:
+    from repro.bench.experiments import odp_sweep
+    from repro.bench.report import write_experiment_json
+
+    ratios = None
+    if args.ratios:
+        ratios = tuple(float(r) for r in args.ratios.split(",") if r.strip())
+        if any(not 0.0 <= r <= 1.0 for r in ratios):
+            print("--ratios values must be in [0, 1]", file=sys.stderr)
+            return 2
+    depths = None
+    if args.depths:
+        depths = tuple(int(d) for d in args.depths.split(",") if d.strip())
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    started = time.time()  # lint: disable=SIM001 (host wall clock)
+    result = odp_sweep(
+        ratios=ratios, depths=depths, threads=args.threads,
+        payload=args.block_size, measure_ns=args.measure_us * 1e3, jobs=jobs,
+    )
+    wall_s = time.time() - started  # lint: disable=SIM001 (host wall clock)
+    print(result.format())
+    print(f"wall time={wall_s:.1f} s (jobs={jobs})")
+    if args.json:
+        write_experiment_json(result, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
 _WORKLOADS = {
     "write-heavy": "WRITE_HEAVY",
     "read-heavy": "READ_HEAVY",
@@ -490,6 +570,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_traffic(argv[1:])
     if argv and argv[0] == "resharding":
         return run_resharding_cmd(argv[1:])
+    if argv and argv[0] == "odp":
+        return run_odp_cmd(argv[1:])
     args = build_parser().parse_args(argv)
     if args.figure:
         if args.trace or args.metrics_out:
@@ -506,6 +588,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def run_single(args) -> int:
+    if args.pinned_ratio is not None and not 0.0 <= args.pinned_ratio <= 1.0:
+        print("--pinned-ratio must be in [0, 1]", file=sys.stderr)
+        return 2
     obs = None
     if args.trace or args.metrics_out:
         from repro.obs import Observability
@@ -521,6 +606,10 @@ def run_single(args) -> int:
         memory_nodes=args.memory_nodes,
         measure_ns=args.measure_us * 1e3,
         seed=args.seed,
+        access=args.access,
+        pinned_ratio=args.pinned_ratio,
+        merge_wrs=args.merge_wrs or None,
+        adaptive_poll=args.adaptive_poll or None,
         faults=args.faults,
         fault_seed=args.fault_seed,
         obs=obs,
@@ -539,6 +628,12 @@ def run_single(args) -> int:
             f"faults: dropped={result.messages_dropped}, "
             f"retransmits={result.retransmissions}, "
             f"wasted_wrs={result.wasted_wrs}"
+        )
+    if args.pinned_ratio is not None or args.merge_wrs:
+        print(
+            f"odp/merge: faults={result.odp_faults}, "
+            f"invalidations={result.odp_invalidations}, "
+            f"merged_wrs={result.merged_wrs}"
         )
     if args.dump_file_path:
         with open(args.dump_file_path, "a") as dump:

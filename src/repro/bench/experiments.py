@@ -788,7 +788,9 @@ def resharding(
 
 def chaos_recovery(
     measure_ns: float = 2.0e6,
-    fault_seed: int = 7,
+    # seed 9 leaves in-doubt log records at the crash in *both* crash
+    # scenarios, so the table always shows NVM rollback at restart
+    fault_seed: int = 9,
     jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Fault-injection scenarios on the FORD transaction stack (SmallBank).
@@ -837,6 +839,67 @@ def chaos_recovery(
     )
 
 
+def odp_sweep(
+    ratios: Optional[Sequence[float]] = None,
+    depths: Optional[Sequence[int]] = None,
+    threads: int = 8,
+    payload: int = 64,
+    measure_ns: float = 1.0e6,
+    jobs: Optional[int] = None,
+) -> ExperimentResult:
+    """ODP pinned-ratio sweep x outstanding-WR count, +/- request merging.
+
+    Every point runs the sequential-offset microbench twice: once with
+    merging/adaptive polling off, once with both on.  As ``pinned_ratio``
+    falls, more responder pages are on-demand-paged and first-touch
+    faults stretch the tail; RDMAbox-style merging fuses the contiguous
+    WRs into one wire message per doorbell, clawing back the per-WR
+    processing cost at high OWR counts.  ``pinned_ratio=1.0`` rows are
+    the pinned baseline (zero faults by construction).
+    """
+    ratios = ratios or _grid((1.0, 0.75, 0.5), (1.0, 0.9, 0.75, 0.5, 0.25))
+    depths = depths or _grid((4, 32), (2, 4, 8, 16, 32, 64))
+    specs = [
+        PointSpec("run_microbench", dict(
+            policy="per-thread-db", threads=threads, depth=depth,
+            payload=payload, op="read", access="seq",
+            pinned_ratio=ratio, merge_wrs=merged, adaptive_poll=merged,
+            latency_samples=True, measure_ns=measure_ns,
+        ))
+        for ratio in ratios
+        for depth in depths
+        for merged in (False, True)
+    ]
+    results = iter(run_points(specs, jobs=jobs))
+    rows = []
+    for ratio in ratios:
+        for depth in depths:
+            plain = next(results)
+            merged = next(results)
+            rows.append([
+                ratio, depth,
+                plain.throughput_mops, merged.throughput_mops,
+                (plain.batch_latency_p50_ns or 0.0) / 1e3,
+                (merged.batch_latency_p50_ns or 0.0) / 1e3,
+                plain.odp_faults, merged.merged_wrs,
+            ])
+    return ExperimentResult(
+        name="ODP: pinned-ratio sweep x OWR, +/- doorbell merging",
+        headers=["pinned_ratio", "depth", "MOPS", "MOPS+merge",
+                 "p50_us", "p50_us+merge", "odp_faults", "merged_wrs"],
+        rows=rows,
+        chart_spec=("depth", ("MOPS", "MOPS+merge")),
+        paper_claim=(
+            "not a SMART figure — realism axes from related work: NP-RDMA "
+            "reports on-demand paging costs tens of us per first-touch "
+            "fault, so throughput/latency degrade smoothly as the pinned "
+            "ratio falls; RDMAbox's doorbell batching merges contiguous "
+            "WRs and recovers the per-WR RNIC processing cost at high "
+            "queue depth"
+        ),
+    )
+
+
 ALL_EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "fig3": fig3_qp_policies,
     "fig4": fig4_cache_thrashing,
@@ -853,4 +916,5 @@ ALL_EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "latency_throughput": latency_throughput,
     "resharding": resharding,
     "chaos": chaos_recovery,
+    "odp": odp_sweep,
 }

@@ -17,7 +17,7 @@ from repro.cluster import Cluster, ComputeThread
 from repro.core import SmartContext, SmartFeatures, SmartThread
 from repro.core.features import baseline as baseline_features
 from repro.rnic import verbs
-from repro.rnic.config import RnicConfig
+from repro.rnic.config import RnicConfig, apply_feature_overrides
 from repro.rnic.policies import (
     ConnectionPolicy,
     MultiplexedQpPolicy,
@@ -60,6 +60,10 @@ class MicrobenchResult:
     retransmissions: int = 0
     messages_dropped: int = 0
     wasted_wrs: int = 0
+    # ODP / request-merging observability (zero when both are off).
+    odp_faults: int = 0
+    odp_invalidations: int = 0
+    merged_wrs: int = 0
     #: batch-weighted per-segment means (only when an Observability is
     #: attached; None keeps fault-free results byte-identical)
     phase_breakdown: Optional[dict] = None
@@ -89,11 +93,21 @@ def _policy_instance(policy: str, multiplex_q: int) -> Optional[ConnectionPolicy
 
 
 def _make_wrs(op: str, payload: int, depth: int, region_base: int, region_size: int,
-              rng: random.Random, blade) -> List:
-    slots = region_size // max(payload, 8)
+              rng: random.Random, blade, access: str = "random") -> List:
+    stride = max(payload, 8)
+    slots = region_size // stride
+    if access == "seq":
+        # One random window start, then `depth` contiguous slots — the
+        # access pattern RDMAbox's adjacent-WR merging is built for.
+        base_slot = rng.randrange(max(1, slots - depth + 1))
+        offsets = [region_base + (base_slot + i) * stride for i in range(depth)]
+    elif access == "random":
+        offsets = [region_base + rng.randrange(slots) * stride
+                   for _ in range(depth)]
+    else:
+        raise ValueError(f"access must be 'random' or 'seq', got {access!r}")
     wrs = []
-    for _ in range(depth):
-        offset = region_base + rng.randrange(slots) * max(payload, 8)
+    for offset in offsets:
         addr = blade.global_addr(offset)
         if op == "read":
             wrs.append(read_wr(addr, payload))
@@ -122,6 +136,11 @@ def run_microbench(
     fault_seed: int = 0,
     obs=None,
     sanitize=False,
+    access: str = "random",
+    pinned_ratio: Optional[float] = None,
+    merge_wrs: Optional[bool] = None,
+    adaptive_poll: Optional[bool] = None,
+    region_pinned: Optional[bool] = None,
 ) -> MicrobenchResult:
     """Run the bench tool at one (policy, threads, depth) point.
 
@@ -133,7 +152,17 @@ def run_microbench(
     ``obs`` attaches a :class:`repro.obs.Observability` before the run
     and collects metrics / the phase breakdown afterwards.  Attachment
     is passive: simulated numbers are bit-identical with or without it.
+
+    ``access`` picks the offset pattern: ``"random"`` (the paper's
+    uniform draw) or ``"seq"`` (contiguous batches — what RDMAbox-style
+    merging fuses).  ``pinned_ratio``/``merge_wrs``/``adaptive_poll``
+    override the matching :class:`RnicConfig` knobs; ``region_pinned``
+    registers the bench MR with that pinning (``False`` = fully ODP).
     """
+    config = apply_feature_overrides(
+        config, pinned_ratio=pinned_ratio, merge_wrs=merge_wrs,
+        adaptive_poll=adaptive_poll,
+    )
     if policy == "smart" and features is None:
         # Scale the paper's Δ = 8 ms epoch down so the C_max search
         # converges inside a short simulation (ratios preserved).
@@ -153,7 +182,8 @@ def run_microbench(
     compute.add_threads(threads)
     remotes = cluster.add_nodes(memory_nodes)
     regions = [r.storage.alloc_region("bench", min(DEFAULT_REGION_BYTES,
-               r.storage.capacity - 4096)) for r in remotes]
+               r.storage.capacity - 4096), pinned=region_pinned)
+               for r in remotes]
 
     if faults is not None:
         from repro.faults import FaultInjector, FaultSchedule
@@ -200,7 +230,7 @@ def run_microbench(
         qp = thread.qp_for(remote.node_id)
         while True:
             wrs = _make_wrs(op, payload, depth, region.base, region.size, rng,
-                            remote.storage)
+                            remote.storage, access)
             start = sim.now
             yield from verbs.post_and_wait(thread, qp, wrs)
             if latency_samples and sim.now >= warmup_ns:
@@ -213,7 +243,7 @@ def run_microbench(
         blade = remote.storage
         while True:
             for wr in _make_wrs(op, payload, depth, region.base, region.size,
-                                rng, blade):
+                                rng, blade, access):
                 handle._buffer.append(wr)
             start = sim.now
             yield from handle.post_send()
@@ -248,6 +278,11 @@ def run_microbench(
         retransmissions=compute.device.counters.retransmissions,
         messages_dropped=cluster.fabric.messages_dropped,
         wasted_wrs=compute.device.counters.wasted_wrs,
+        odp_faults=sum(r.device.counters.odp_faults for r in remotes),
+        odp_invalidations=sum(
+            r.device.counters.odp_invalidations for r in remotes
+        ),
+        merged_wrs=compute.device.counters.merged_wrs,
     )
     if latencies:
         ordered = sorted(latencies)

@@ -16,7 +16,7 @@ from repro.apps.race.server import HashTableServer
 from repro.cluster import Cluster, Node
 from repro.core import OperationStats, SmartContext, SmartFeatures, SmartThread
 from repro.core.features import baseline, full
-from repro.rnic.config import RnicConfig
+from repro.rnic.config import RnicConfig, apply_feature_overrides
 from repro.workloads.ycsb import INSERT, READ, UPDATE, YcsbWorkload
 
 #: Scaled-down adaptive-throttling epoch so the C_max search converges
@@ -337,6 +337,9 @@ def run_hashtable(
     fault_seed: int = 0,
     obs=None,
     sanitize=False,
+    pinned_ratio: Optional[float] = None,
+    merge_wrs: Optional[bool] = None,
+    adaptive_poll: Optional[bool] = None,
 ) -> RunResult:
     """One point of the hash-table experiments.
 
@@ -345,9 +348,15 @@ def run_hashtable(
     ``faults`` arms a fault schedule (loss/dup/delay windows; the RACE
     client has no crash-recovery path, so crash faults belong to the DTX
     runner where FORD's recovery handles them).
+    ``pinned_ratio``/``merge_wrs``/``adaptive_poll`` override the
+    matching :class:`RnicConfig` knobs (ODP + doorbell batching axes).
     """
     from repro.workloads.ycsb import WRITE_HEAVY
 
+    config = apply_feature_overrides(
+        config, pinned_ratio=pinned_ratio, merge_wrs=merge_wrs,
+        adaptive_poll=adaptive_poll,
+    )
     workload = workload or WRITE_HEAVY
     if features is None:
         features = SYSTEM_FEATURES[system]()
@@ -423,6 +432,9 @@ def run_dtx(
     fault_seed: int = 0,
     obs=None,
     sanitize=False,
+    pinned_ratio: Optional[float] = None,
+    merge_wrs: Optional[bool] = None,
+    adaptive_poll: Optional[bool] = None,
 ) -> RunResult:
     """One point of the FORD / SMART-DTX experiments (throughput in
     committed M txn/s).
@@ -430,12 +442,18 @@ def run_dtx(
     ``faults`` arms a fault schedule (see :func:`install_faults`); blade
     restarts then run FORD's recovery manager over every client's NVM
     log ring, rolling back in-doubt records before traffic resumes.
+    ``pinned_ratio``/``merge_wrs``/``adaptive_poll`` override the
+    matching :class:`RnicConfig` knobs (ODP + doorbell batching axes).
     """
     from repro.apps.ford.server import DtxServer
     from repro.apps.ford.txn import TxnClient
     from repro.workloads import smallbank as sb
     from repro.workloads import tatp as tp
 
+    config = apply_feature_overrides(
+        config, pinned_ratio=pinned_ratio, merge_wrs=merge_wrs,
+        adaptive_poll=adaptive_poll,
+    )
     if features is None:
         features = SYSTEM_FEATURES[system]()
     deployment = build_deployment(
@@ -529,6 +547,9 @@ def run_btree(
     hopl: bool = True,
     obs=None,
     sanitize=False,
+    pinned_ratio: Optional[float] = None,
+    merge_wrs: Optional[bool] = None,
+    adaptive_poll: Optional[bool] = None,
 ) -> RunResult:
     """One point of the Sherman / SMART-BT experiments.
 
@@ -543,6 +564,10 @@ def run_btree(
     from repro.apps.sherman.server import BTreeServer
     from repro.workloads.ycsb import WRITE_HEAVY
 
+    config = apply_feature_overrides(
+        config, pinned_ratio=pinned_ratio, merge_wrs=merge_wrs,
+        adaptive_poll=adaptive_poll,
+    )
     workload = workload or WRITE_HEAVY
     if features is None:
         base = {"sherman": "sherman", "sherman-sl": "sherman", "smart-bt": "smart-bt"}

@@ -16,7 +16,12 @@ faulty run bit-identically and (b) with no faults installed the
 simulation is byte-for-byte the pre-fault-injection model.
 """
 
-from repro.faults.schedule import BladeCrash, FaultSchedule, parse_duration_ns
+from repro.faults.schedule import (
+    BladeCrash,
+    FaultSchedule,
+    OdpInvalidate,
+    parse_duration_ns,
+)
 from repro.faults.injector import FaultInjector
 from repro.network.fabric import LinkFault
 
@@ -25,5 +30,6 @@ __all__ = [
     "FaultInjector",
     "FaultSchedule",
     "LinkFault",
+    "OdpInvalidate",
     "parse_duration_ns",
 ]

@@ -10,10 +10,14 @@ windows and :class:`BladeCrash` events.  Three ways to build one:
       dup=0.01@0+2ms:1             duplication on node 1's links
       delay=500ns@1ms+1ms          a latency spike
       crash=2@1.3ms+0.5ms          node 2 down for 0.5 ms
+      invalidate=1@1ms+0.5ms       ODP invalidation storm on node 1
 
   clauses are comma-separated: ``kind=value@start+duration[:node]``
-  (for ``crash`` the value *is* the node id and the duration is the
-  downtime);
+  (for ``crash`` and ``invalidate`` the value *is* the node id — or
+  ``all`` for ``invalidate`` — and for ``crash`` the duration is the
+  downtime; an ``invalidate`` storm shoots down the target device's
+  resident ODP translations at the window start, and the duration marks
+  the disruption window in the trace);
 * :meth:`FaultSchedule.seeded` — a randomized plan drawn from one seed,
   for chaos sweeps.
 
@@ -64,6 +68,27 @@ class BladeCrash:
 
 
 @dataclass(frozen=True)
+class OdpInvalidate:
+    """One ODP invalidation storm: the target device's resident
+    translations are shot down at ``start_ns`` (MMU-notifier burst:
+    reclaim, registration churn, link reset).  ``node_id=None`` targets
+    every device; ``duration_ns`` marks the disruption window for the
+    trace — the storm itself is a point event."""
+
+    start_ns: float
+    duration_ns: float = 0.0
+    node_id: Optional[int] = None
+
+    def __post_init__(self):
+        if self.start_ns < 0 or self.duration_ns < 0:
+            raise ValueError("invalidate needs start_ns >= 0, duration >= 0")
+
+    @property
+    def end_ns(self) -> float:
+        return self.start_ns + self.duration_ns
+
+
+@dataclass(frozen=True)
 class FaultSchedule:
     """An immutable fault plan plus the seed that parameterizes replay."""
 
@@ -73,21 +98,25 @@ class FaultSchedule:
     #: the spec string this schedule was parsed from, if any (kept so a
     #: schedule can be shipped across process boundaries as a string)
     spec: Optional[str] = None
+    invalidations: Tuple[OdpInvalidate, ...] = ()
 
     def __post_init__(self):
         # Accept lists for convenience; store tuples (hashable/frozen).
         object.__setattr__(self, "link_faults", tuple(self.link_faults))
         object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "invalidations", tuple(self.invalidations))
 
     @property
     def empty(self) -> bool:
-        return not self.link_faults and not self.crashes
+        return (not self.link_faults and not self.crashes
+                and not self.invalidations)
 
     @property
     def horizon_ns(self) -> float:
         """When the last scheduled fault is over."""
         ends = [f.end_ns for f in self.link_faults]
         ends += [c.restart_ns for c in self.crashes]
+        ends += [inv.end_ns for inv in self.invalidations]
         return max(ends, default=0.0)
 
     # -- construction -------------------------------------------------------
@@ -98,6 +127,7 @@ class FaultSchedule:
         docstring)."""
         link_faults: List[LinkFault] = []
         crashes: List[BladeCrash] = []
+        invalidations: List[OdpInvalidate] = []
         for clause in filter(None, (c.strip() for c in spec.split(","))):
             try:
                 head, timing = clause.split("@", 1)
@@ -125,6 +155,14 @@ class FaultSchedule:
                         f"{clause!r}: crash names its node as the value, not a suffix"
                     )
                 crashes.append(BladeCrash(int(value), start, duration))
+            elif kind == "invalidate":
+                if node is not None:
+                    raise ValueError(
+                        f"{clause!r}: invalidate names its node as the "
+                        f"value (or 'all'), not a suffix"
+                    )
+                target = None if value.strip().lower() == "all" else int(value)
+                invalidations.append(OdpInvalidate(start, duration, target))
             elif kind == "loss":
                 link_faults.append(LinkFault(start, duration, loss=float(value),
                                              node_id=node))
@@ -137,9 +175,11 @@ class FaultSchedule:
                                              node_id=node))
             else:
                 raise ValueError(
-                    f"unknown fault kind {kind!r} (loss, dup, delay, crash)"
+                    f"unknown fault kind {kind!r} "
+                    f"(loss, dup, delay, crash, invalidate)"
                 )
-        return cls(tuple(link_faults), tuple(crashes), seed=seed, spec=spec)
+        return cls(tuple(link_faults), tuple(crashes), seed=seed, spec=spec,
+                   invalidations=tuple(invalidations))
 
     @classmethod
     def seeded(

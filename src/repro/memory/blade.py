@@ -30,6 +30,10 @@ class Region:
     #: registered for one-sided remote access (an MR in the blade's MPT);
     #: only checked when the RNIC enforces protection
     remote_access: bool = True
+    #: MR pinning: ``True`` pins every page; ``False`` registers the
+    #: region on-demand-paged (ODP — every page can fault at the
+    #: responder); ``None`` defers to ``RnicConfig.pinned_ratio``
+    pinned: Optional[bool] = None
 
     @property
     def end(self) -> int:
@@ -59,6 +63,9 @@ class MemoryBlade:
         # carved from a first-fit arena that places them exactly like the
         # historical bump pointer until something is freed.
         self.allocator = BladeAllocator(8, capacity)
+        #: live regions registered with an explicit ``pinned=False`` —
+        #: the responder's cheap "could anything here fault?" gate
+        self.unpinned_regions = 0
         # Statistics
         self.reads = 0
         self.writes = 0
@@ -69,8 +76,15 @@ class MemoryBlade:
     # -- region management --------------------------------------------------
 
     def alloc_region(self, name: str, size: int, persistent: bool = False,
-                     remote_access: bool = True) -> Region:
-        """Carve a fresh region (cacheline-aligned, freeable via free_region)."""
+                     remote_access: bool = True,
+                     pinned: Optional[bool] = None) -> Region:
+        """Carve a fresh region (cacheline-aligned, freeable via free_region).
+
+        ``pinned=False`` registers the region on-demand-paged (ODP): its
+        pages can take a responder-side fault on first touch or after an
+        invalidation.  ``None`` (the default) follows the device's
+        ``pinned_ratio`` knob; ``True`` pins unconditionally.
+        """
         if name in self._regions:
             raise ValueError(f"region {name!r} already exists")
         if size <= 0:
@@ -83,9 +97,20 @@ class MemoryBlade:
                 f"({size} bytes requested, {self.allocator.free_bytes} free, "
                 f"largest block {self.allocator.largest_free_block})"
             ) from None
-        region = Region(name, base, size, persistent, remote_access)
+        region = Region(name, base, size, persistent, remote_access, pinned)
         self._regions[name] = region
+        if pinned is False:
+            self.unpinned_regions += 1
         return region
+
+    def register_region(self, name: str, size: int, persistent: bool = False,
+                        remote_access: bool = True,
+                        pinned: Optional[bool] = None) -> Region:
+        """MR-registration view of :meth:`alloc_region` (same semantics);
+        the name apps use when the interesting property is the MR
+        bookkeeping — in particular ``pinned=False`` for ODP MRs."""
+        return self.alloc_region(name, size, persistent=persistent,
+                                 remote_access=remote_access, pinned=pinned)
 
     def free_region(self, name: str) -> None:
         """Release a region's space for reuse and scrub its content.
@@ -99,6 +124,8 @@ class MemoryBlade:
             raise KeyError(f"no region named {name!r}")
         self.allocator.free(region.base)
         self._memory[region.base : region.end] = bytes(region.size)
+        if region.pinned is False:
+            self.unpinned_regions -= 1
 
     def find_region(self, offset: int, size: int = 1) -> Optional[Region]:
         """The region fully containing [offset, offset+size), if any."""
@@ -113,8 +140,15 @@ class MemoryBlade:
     def regions(self) -> List[Region]:
         return list(self._regions.values())
 
-    def is_persistent(self, offset: int) -> bool:
-        return any(r.persistent and r.contains(offset) for r in self._regions.values())
+    def is_persistent(self, offset: int, size: int = 1) -> bool:
+        """True when [offset, offset+size) *overlaps* any persistent
+        region — a write only partially landing in NVM still pays the
+        media penalty for the NVM part (overlap, not containment)."""
+        end = offset + size
+        return any(
+            r.persistent and r.base < end and offset < r.end
+            for r in self._regions.values()
+        )
 
     def global_addr(self, offset: int) -> int:
         return make_addr(self.blade_id, offset)

@@ -56,6 +56,7 @@ _DEVICE_COUNTERS = (
     "requester_busy_ns", "responder_busy_ns", "protection_faults",
     "retransmissions", "wasted_wire_bytes", "error_completions",
     "flushed_wrs", "qp_errors",
+    "odp_faults", "odp_invalidations", "merged_wrs",
 )
 
 

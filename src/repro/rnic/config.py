@@ -149,6 +149,57 @@ class RnicConfig:
     executing.  Off by default: the paper's workloads are all
     well-formed, and raw-offset access keeps small experiments terse."""
 
+    # -- ODP / non-pinned memory (NP-RDMA) ------------------------------------
+    pinned_ratio: float = 1.0
+    """Fraction of 4 KiB pages in ``pinned=None`` regions that behave as
+    pinned.  1.0 (the default) reproduces the paper's fully pinned setup
+    and never creates ODP state; below 1.0, a deterministic per-page hash
+    marks ``1 - pinned_ratio`` of the pages on-demand-paged.  Regions
+    registered with an explicit ``pinned=False`` are always ODP-backed
+    regardless of this knob."""
+
+    odp_fault_ns: float = 20_000.0
+    """Responder-side service of one ODP page fault (first touch of a
+    non-resident page, or re-touch after an invalidation): MMU-notifier
+    round trip + host page-table walk + MTT update.  NP-RDMA measures
+    tens of microseconds for the slow path on commodity NICs."""
+
+    odp_fault_jitter_ns: float = 8_000.0
+    """Uniform jitter added on top of ``odp_fault_ns`` per fault, drawn
+    from the seeded ODP RNG (host scheduling noise on the fault path)."""
+
+    odp_resident_pages: int = 4096
+    """Resident-set capacity, in 4 KiB pages, per device (16 MiB).  LRU
+    eviction beyond this; an evicted page faults again on next touch."""
+
+    odp_seed: int = 0
+    """Seed of the per-device ODP RNG (fault jitter).  Page pinned-ness
+    under ``pinned_ratio`` is a pure hash of (page, seed) so it is stable
+    across runs and independent of access order."""
+
+    # -- doorbell batching / adaptive polling (RDMAbox) ------------------------
+    merge_wrs: bool = False
+    """RDMAbox-style request merging: consecutive READ/WRITE WRs in one
+    post to contiguous remote addresses fuse into a single wire message
+    (one WQE, one header, one transit).  Off by default; off-runs are
+    byte-identical to the unmerged model."""
+
+    adaptive_poll: bool = False
+    """RDMAbox-style adaptive CQ polling: spin up to ``poll_spin_ns``,
+    then yield and reap the whole completion batch in one wakeup instead
+    of paying ``cqe_poll_ns`` per CQE.  Off by default."""
+
+    poll_spin_ns: float = 200.0
+    """Spin budget before the adaptive poller yields the core."""
+
+    poll_yield_ns: float = 150.0
+    """Wakeup cost (context switch back onto the CQ) after a yield."""
+
+    poll_drain_factor: float = 0.25
+    """Per-extra-CQE cost of a batched drain, as a fraction of
+    ``cqe_poll_ns``: draining n CQEs in one wakeup costs
+    ``cqe_poll_ns * (1 + factor * (n - 1))``."""
+
     def cycles_to_ns(self, cycles: float) -> float:
         return cycles / self.cpu_ghz
 
@@ -181,3 +232,29 @@ def connectx6() -> RnicConfig:
 def small_scale() -> RnicConfig:
     """A reduced-rate profile for fast unit tests (not used by benches)."""
     return RnicConfig(max_iops=10e6, responder_iops=10.5e6, wqe_cache_capacity=64)
+
+
+def apply_feature_overrides(
+    config: "RnicConfig | None",
+    pinned_ratio: "float | None" = None,
+    merge_wrs: "bool | None" = None,
+    adaptive_poll: "bool | None" = None,
+) -> "RnicConfig | None":
+    """Fold the per-runner feature kwargs into ``config``.
+
+    Every bench runner exposes ``pinned_ratio`` / ``merge_wrs`` /
+    ``adaptive_poll`` as plain keyword arguments so sweeps don't have to
+    construct configs; ``None`` means "leave the config's value alone".
+    Returns ``config`` unchanged (possibly ``None``) when nothing is
+    overridden, so default runs build the identical default config.
+    """
+    overrides = {}
+    if pinned_ratio is not None:
+        overrides["pinned_ratio"] = pinned_ratio
+    if merge_wrs is not None:
+        overrides["merge_wrs"] = merge_wrs
+    if adaptive_poll is not None:
+        overrides["adaptive_poll"] = adaptive_poll
+    if not overrides:
+        return config
+    return (config or RnicConfig()).with_overrides(**overrides)

@@ -25,10 +25,15 @@ class DeviceContext:
         self.device = device
         self.uar = DoorbellAllocator(device.sim, device.config, total_uuars)
         self.mr_count = 0
+        #: MRs registered on-demand-paged (``pinned=False``); their pages
+        #: can fault at the responder (see :mod:`repro.rnic.odp`)
+        self.unpinned_mr_count = 0
         self.qps: List[QueuePair] = []
 
-    def register_mr(self) -> None:
+    def register_mr(self, pinned: bool = True) -> None:
         self.mr_count += 1
+        if not pinned:
+            self.unpinned_mr_count += 1
 
     def create_qp(
         self,
@@ -96,8 +101,20 @@ class RnicDevice:
         #: optional :class:`repro.analysis.rdmasan.RdmaSanitizer`; like the
         #: recorder it is a passive observer — None keeps the hot path free
         self.sanitizer = None
+        #: lazily created :class:`repro.rnic.odp.OdpState`; stays None on
+        #: fully pinned configurations so the fault-free fast path never
+        #: pays more than one ``is None`` check
+        self.odp = None
         #: QPs created by remote peers that terminate at this device
         self.accepted_qps = 0
+
+    def ensure_odp(self):
+        """The device's ODP state, created on first need."""
+        if self.odp is None:
+            from repro.rnic.odp import OdpState
+
+            self.odp = OdpState(self)
+        return self.odp
 
     def open_context(self, total_uuars: Optional[int] = None) -> DeviceContext:
         """Open a device context with ``total_uuars`` doorbells.
@@ -124,10 +141,21 @@ class RnicDevice:
         self.crashes += 1
 
     def restore(self) -> None:
-        """The hosting blade restarted: resume serving, run restore hooks."""
+        """The hosting blade restarted: resume serving, run restore hooks.
+
+        The engine pipelines restart empty: whatever backlog the crashed
+        NIC had accumulated died with it, so the pre-crash ``busy_until``
+        watermarks must not delay the first post-restart operation (they
+        could sit arbitrarily far in the future after a long outage).
+        """
         if self.online:
             return
         self.online = True
+        self.requester.busy_until = 0.0
+        self.responder.busy_until = 0.0
+        if self.odp is not None:
+            # the restarted NIC has no cached translations
+            self.odp.invalidate_all(self.sim.now)
         for callback in list(self.on_restore):
             callback(self)
 
@@ -143,7 +171,6 @@ class RnicDevice:
         for wr in batch.wrs:
             if wr.status == WorkRequest.STATUS_OK:
                 wr.status = status
-        batch.qp.to_error(status)
         if status == WorkRequest.STATUS_FLUSH:
             self.counters.flushed_wrs += len(batch)
         else:
@@ -153,10 +180,19 @@ class RnicDevice:
                 self.name, "faults", "batch_failed", self.sim.now,
                 {"batch": batch.batch_id, "status": status, "wrs": len(batch)},
             )
+        # The QP transitions to ERROR when the error CQE is *delivered*,
+        # not when the fault is scheduled: nothing observable (neither the
+        # app nor later posts) may learn of the failure before the
+        # detection delay has elapsed.
         if delay_ns > 0:
-            self.sim.call_after(delay_ns, self.complete, batch)
+            self.sim.call_after(delay_ns, self._deliver_failure, (batch, status))
         else:
-            self.sim.call_at(self.sim.now, self.complete, batch)
+            self.sim.call_at(self.sim.now, self._deliver_failure, (batch, status))
+
+    def _deliver_failure(self, pair) -> None:
+        batch, status = pair
+        batch.qp.to_error(status)
+        self.complete(batch)
 
     def complete(self, batch: WorkBatch) -> None:
         """Response arrived: DMA the CQEs and wake the poster."""

@@ -63,13 +63,19 @@ class RequesterEngine:
         bandwidth_ns = batch.wire_bytes / min(
             config.network_bytes_per_ns, config.pcie_bytes_per_ns
         )
+        # Request merging fuses adjacent WRs into fewer wire messages:
+        # the issue pipeline processes one WQE per *wire* message
+        # (wire_wrs == n unless RnicConfig.merge_wrs fused some).
+        wire_n = batch.wire_wrs
         start = max(sim.now, self.busy_until)
-        finish = start + max(n * per_wr_ns, bandwidth_ns)
+        finish = start + max(wire_n * per_wr_ns, bandwidth_ns)
         self.busy_until = finish
 
         counters = device.counters
         counters.requester_busy_ns += finish - start
         counters.wqe_processed += n
+        if wire_n != n:
+            counters.merged_wrs += n - wire_n
         counters.mtt_lookups += n
         counters.wqe_cache_miss_wrs += n * wqe_miss
         counters.mtt_miss_wrs += n * (1.0 - mtt_hit)
@@ -178,19 +184,32 @@ class ResponderEngine:
         per_wr_ns = config.responder_service_ns
         bandwidth_ns = batch.wire_bytes / config.network_bytes_per_ns
         nvm_penalty = 0.0
+        odp_penalty = 0.0
         storage = device.storage
         if storage is not None:
             for wr in batch.wrs:
+                # The penalty applies when any part of the written span
+                # lands in NVM, not just the first byte.
                 if wr.opcode == qpmod.WRITE and storage.is_persistent(
-                    offset_of(wr.remote_addr)
+                    offset_of(wr.remote_addr), wr.size
                 ):
                     nvm_penalty += config.nvm_write_extra_ns
+            odp = device.odp
+            if odp is None and (
+                storage.unpinned_regions or config.pinned_ratio < 1.0
+            ):
+                odp = device.ensure_odp()
+            if odp is not None:
+                odp_penalty = odp.charge(batch, sim.now)
 
         origin_tracer = batch.qp.device.tracer
         if origin_tracer is not None:
             origin_tracer.record(batch.batch_id, "remote_start", sim.now)
         start = max(sim.now, self.busy_until)
-        finish = start + max(n * per_wr_ns, bandwidth_ns) + nvm_penalty
+        finish = (
+            start + max(batch.wire_wrs * per_wr_ns, bandwidth_ns)
+            + nvm_penalty + odp_penalty
+        )
         self.busy_until = finish
         device.counters.responder_busy_ns += finish - start
         sim.call_at(finish, self._execute_and_reply, batch)
@@ -221,25 +240,44 @@ class ResponderEngine:
         if origin.tracer is not None:
             origin.tracer.record(batch.batch_id, "executed", device.sim.now)
         sim = device.sim
-        delay, dropped, duplicated = device.fabric.transit(
-            batch.wire_bytes, sim.now, device.node_id, origin.node_id
-        )
-        if duplicated:
-            origin.counters.wasted_wire_bytes += batch.wire_bytes
-        if dropped:
+        # The return direction carries the *response* payload (READ data /
+        # atomic results, or just an ack for WRITEs) — not the
+        # request-side wire bytes.
+        send_ns = sim.now
+        attempt = 0
+        while True:
+            delay, dropped, duplicated = device.fabric.transit(
+                batch.response_bytes, send_ns, device.node_id, origin.node_id
+            )
+            if duplicated:
+                origin.counters.wasted_wire_bytes += batch.response_bytes
+            if not dropped:
+                break
             # A lost ack/completion is recovered by a PSN-coordinated
             # retransmit: the operation is NOT re-executed (duplicate
             # requests are filtered by sequence number); the requester
-            # just pays the ack timeout plus the resent message.
+            # pays the ack timeout plus the resent message's transit and
+            # wire bytes.  Like the request direction, the transport
+            # gives up after transport_retry_limit resends.
+            origin.counters.wasted_wire_bytes += batch.response_bytes
+            if attempt >= origin.config.transport_retry_limit:
+                origin.fail_batch(
+                    batch,
+                    qpmod.WorkRequest.STATUS_RETRY_EXCEEDED,
+                    delay_ns=(send_ns - sim.now)
+                    + origin.config.retransmit_timeout_ns,
+                )
+                return
             origin.counters.retransmissions += len(batch)
-            origin.counters.wasted_wire_bytes += batch.wire_bytes
             if origin.recorder is not None:
                 origin.recorder.instant(
-                    origin.name, "wire-back", "retransmit", sim.now,
-                    {"batch": batch.batch_id, "lost": "ack"},
+                    origin.name, "wire-back", "retransmit", send_ns,
+                    {"batch": batch.batch_id, "lost": "ack",
+                     "attempt": attempt + 1},
                 )
-            delay += origin.config.retransmit_timeout_ns
-        sim.call_at(sim.now + delay, origin.complete, batch)
+            send_ns += origin.config.retransmit_timeout_ns
+            attempt += 1
+        sim.call_at(send_ns + delay, origin.complete, batch)
 
     @staticmethod
     def _access_allowed(storage, wr) -> bool:

@@ -6,6 +6,7 @@ from typing import Any, List, Optional
 
 from repro.sim import Event, Simulator
 from repro.sim.resources import SpinLock
+from repro.rnic.doorbell import plan_merges
 
 # One-sided verb opcodes (the only ones disaggregated apps use).
 READ = "read"
@@ -129,6 +130,8 @@ class WorkBatch:
         "batch_id",
         "wire_bytes",
         "write_bytes",
+        "response_bytes",
+        "wire_wrs",
         "actor",
     )
 
@@ -147,14 +150,43 @@ class WorkBatch:
         self.actor: Any = None
         wire = 0
         write_payload = 0
+        response = 0
         for wr in wrs:
             wire += wr.size + MESSAGE_OVERHEAD_BYTES
             if wr.opcode == WRITE:
                 write_payload += wr.size
+                # a WRITE's return direction is just the transport ack
+                response += MESSAGE_OVERHEAD_BYTES
+            else:
+                # READ response carries the data; atomics return 8 bytes
+                response += wr.size + MESSAGE_OVERHEAD_BYTES
+        #: wire messages this batch issues; == len(wrs) unless RDMAbox
+        #: request merging fused adjacent WRs (``RnicConfig.merge_wrs``)
+        self.wire_wrs = len(wrs)
+        if qp.context.device.config.merge_wrs and len(wrs) > 1:
+            groups = plan_merges(wrs)
+            if len(groups) < len(wrs):
+                self.wire_wrs = len(groups)
+                wire = response = 0
+                index = 0
+                for count in groups:
+                    first = wrs[index]
+                    group_size = sum(
+                        wrs[index + k].size for k in range(count)
+                    )
+                    wire += group_size + MESSAGE_OVERHEAD_BYTES
+                    if first.opcode == WRITE:
+                        response += MESSAGE_OVERHEAD_BYTES
+                    else:
+                        response += group_size + MESSAGE_OVERHEAD_BYTES
+                    index += count
         #: bytes moved on the wire in the batch's dominant direction
         self.wire_bytes = wire
         #: WRITE payload bytes (DMA-read from host DRAM before transmit)
         self.write_bytes = write_payload
+        #: bytes moved in the return direction (READ data / atomic result
+        #: payloads, plus one ack header per wire message)
+        self.response_bytes = response
 
     def __len__(self) -> int:
         return len(self.wrs)

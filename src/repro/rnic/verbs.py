@@ -71,7 +71,10 @@ def post_send(thread, qp: QueuePair, wrs: List[WorkRequest], actor=None) -> Gene
             {"doorbell": doorbell.index, "thread": thread_id,
              "stall_ns": device.sim.now - wait_start},
         )
-    yield from thread.compute(doorbell.held_cost_ns(config, len(wrs)))
+    # With request merging on, fused neighbours share one WQE: the
+    # write-combining copy under the lock covers wire_wrs WQEs, not one
+    # per posted WR (wire_wrs == len(wrs) when merging is off).
+    yield from thread.compute(doorbell.held_cost_ns(config, batch.wire_wrs))
     doorbell.lock.release(owner=thread_id)
     if qp.share_lock is not None:
         qp.share_lock.release(owner=thread_id)
@@ -86,10 +89,39 @@ def post_send(thread, qp: QueuePair, wrs: List[WorkRequest], actor=None) -> Gene
 
 
 def wait_completion(thread, batch: WorkBatch) -> Generator:
-    """Wait until ``batch`` completes, then charge the CQ-poll CPU cost."""
-    if not batch.done.triggered:
-        yield batch.done
-    yield from thread.compute(thread.config.cqe_poll_ns * len(batch))
+    """Wait until ``batch`` completes, then charge the CQ-poll CPU cost.
+
+    Fixed polling (the default) charges ``cqe_poll_ns`` per CQE.  With
+    ``RnicConfig.adaptive_poll`` the poller follows RDMAbox's
+    spin-then-yield discipline: spin up to ``poll_spin_ns`` (same per-CQE
+    cost as fixed polling — the completion was reaped hot), otherwise
+    yield the core and, on wakeup, pay ``poll_yield_ns`` once plus an
+    *amortized* drain of the whole completion batch
+    (``cqe_poll_ns * (1 + poll_drain_factor * (n - 1))``).  The
+    trade-off is RDMAbox's: slightly worse at depth 1 (the wakeup tax),
+    increasingly better as more CQEs arrive per wakeup.
+    """
+    config = thread.config
+    if not config.adaptive_poll:
+        if not batch.done.triggered:
+            yield batch.done
+        yield from thread.compute(config.cqe_poll_ns * len(batch))
+        return batch
+    amortized_ns = config.cqe_poll_ns * (
+        1.0 + config.poll_drain_factor * (len(batch) - 1)
+    )
+    if batch.done.triggered:
+        # Already completed when the poller arrived: one cold drain
+        # (the CQEs piled up while the thread was elsewhere).
+        yield from thread.compute(amortized_ns)
+        return batch
+    wait_start = thread.sim.now
+    yield batch.done
+    if thread.sim.now - wait_start <= config.poll_spin_ns:
+        # Caught within the spin budget — hot path, per-CQE cost.
+        yield from thread.compute(config.cqe_poll_ns * len(batch))
+    else:
+        yield from thread.compute(config.poll_yield_ns + amortized_ns)
     return batch
 
 

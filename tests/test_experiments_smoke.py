@@ -31,6 +31,16 @@ class TestMicroExperiments:
         interval_ms, ratio, off, on = result.rows[0]
         assert off > 0 and on > 0
 
+    def test_odp(self):
+        result = exp.odp_sweep(ratios=(1.0, 0.5), depths=(4,), threads=2,
+                               measure_ns=0.3e6)
+        assert result.headers[0] == "pinned_ratio"
+        assert len(result.rows) == 2
+        pinned, odp = result.rows
+        assert pinned[6] == 0 and odp[6] > 0  # odp_faults column
+        assert pinned[7] > 0  # seq access merges at every ratio
+        assert odp[2] < pinned[2]  # faulting costs throughput
+
 
 class TestHashTableExperiments:
     def test_fig5(self):
@@ -85,7 +95,7 @@ class TestRegistry:
         assert set(exp.ALL_EXPERIMENTS) == {
             "fig3", "fig4", "fig5", "fig7", "fig8", "fig9",
             "fig10", "fig11", "fig12", "fig13", "table1", "fig14",
-            "latency_throughput", "resharding", "chaos",
+            "latency_throughput", "resharding", "chaos", "odp",
         }
 
     def test_grid_switch(self, monkeypatch):

@@ -11,10 +11,16 @@ import pytest
 from repro.cluster import Cluster
 from repro.core import SmartContext, SmartThread
 from repro.core.features import baseline
-from repro.faults import BladeCrash, FaultInjector, FaultSchedule, parse_duration_ns
+from repro.faults import (
+    BladeCrash,
+    FaultInjector,
+    FaultSchedule,
+    OdpInvalidate,
+    parse_duration_ns,
+)
 from repro.network.fabric import Fabric, LinkFault
 from repro.rnic import verbs
-from repro.rnic.qp import QueuePair, WorkRequest, read_wr
+from repro.rnic.qp import QueuePair, WorkRequest, read_wr, write_wr
 from repro.memory.blade import MemoryBlade
 
 _U64 = struct.Struct("<Q")
@@ -81,6 +87,22 @@ class TestScheduleParsing:
         sched = FaultSchedule.parse("loss=0.1@0+1ms,crash=1@2ms+0.5ms")
         assert sched.horizon_ns == 2.5e6
         assert FaultSchedule().empty and FaultSchedule().horizon_ns == 0.0
+
+    def test_parse_invalidate_clauses(self):
+        sched = FaultSchedule.parse(
+            "invalidate=1@1ms+0.5ms, invalidate=all@3ms+0"
+        )
+        one, every = sched.invalidations
+        assert one.node_id == 1
+        assert one.start_ns == 1e6 and one.end_ns == 1.5e6
+        assert every.node_id is None and every.start_ns == 3e6
+        assert not sched.empty
+        assert sched.horizon_ns == 3e6
+        # like crash, invalidate names its node as the value, not a suffix
+        with pytest.raises(ValueError):
+            FaultSchedule.parse("invalidate=1@0+1ms:2")
+        with pytest.raises(ValueError):
+            OdpInvalidate(-1.0)
 
 
 # -- fabric faults ------------------------------------------------------------
@@ -287,8 +309,11 @@ class TestFaultCompletions:
 
     def test_injector_auto_resets_error_qps_on_restart(self):
         cluster, compute, remote, region, thread = _one_thread_deployment()
+        # Downtime must outlast crash_detect_ns: the QP only reaches ERROR
+        # when the error CQE is *delivered* (post at 2 us + 50 us detect),
+        # and the auto-reset scans QPs at restart time.
         injector = FaultInjector(
-            cluster, FaultSchedule(crashes=(BladeCrash(remote.node_id, 1000.0, 50_000.0),))
+            cluster, FaultSchedule(crashes=(BladeCrash(remote.node_id, 1000.0, 100_000.0),))
         ).install()
         qp = thread.qp_for(remote.node_id)
 
@@ -310,6 +335,233 @@ class TestFaultCompletions:
         with pytest.raises(RuntimeError):
             injector.install()
 
+    def test_qp_error_is_deferred_to_cqe_delivery(self):
+        cluster, compute, remote, region, thread = _one_thread_deployment()
+        qp = thread.qp_for(remote.node_id)
+        statuses = []
+
+        def worker():
+            batch = yield from verbs.post_and_wait(
+                thread, qp, [read_wr(remote.storage.global_addr(region.base), 8)]
+            )
+            statuses.append(batch.status)
+
+        cluster.sim.spawn(worker())
+        remote.crash()
+        # The request reaches the dead responder within a few us, but the
+        # failure only becomes observable when the error CQE is delivered,
+        # crash_detect_ns (50 us) later.  Until then the QP must stay RTS:
+        # nothing may learn of the crash before the detection delay.
+        cluster.sim.run(until=40_000)
+        assert statuses == []
+        assert qp.state == QueuePair.STATE_RTS
+        cluster.sim.run()
+        assert statuses == [WorkRequest.STATUS_REMOTE_ABORT]
+        assert qp.state == QueuePair.STATE_ERROR
+
+    def test_restore_resets_engine_watermarks(self):
+        cluster = Cluster()
+        node = cluster.add_node()
+        device = node.device
+        device.requester.busy_until = 5e12
+        device.responder.busy_until = 7e12
+        device.fail()
+        device.restore()
+        assert device.requester.busy_until == 0.0
+        assert device.responder.busy_until == 0.0
+
+    def test_first_op_after_restart_not_delayed_by_stale_watermark(self):
+        cluster, compute, remote, region, thread = _one_thread_deployment()
+        # Backlog watermark far in the future, as after a busy spell: the
+        # crash kills that backlog, so the restarted blade must not make
+        # the first post-restart op wait for it.
+        remote.device.responder.busy_until = 1e12
+        remote.crash(restart_after_ns=1000.0)
+        qp = thread.qp_for(remote.node_id)
+        latencies = []
+
+        def worker():
+            yield cluster.sim.timeout(5000)  # blade is back up
+            start = cluster.sim.now
+            batch = yield from verbs.post_and_wait(
+                thread, qp, [read_wr(remote.storage.global_addr(region.base), 8)]
+            )
+            latencies.append((batch.status, cluster.sim.now - start))
+
+        cluster.sim.spawn(worker())
+        cluster.sim.run()
+        (status, latency), = latencies
+        assert status == WorkRequest.STATUS_OK
+        assert latency < 100_000  # ~1e12 if the watermark survived restart
+
+    def test_lost_ack_retransmits_without_reexecuting(self):
+        def run_one(loss_at=None):
+            cluster, compute, remote, region, thread = _one_thread_deployment()
+            remote.storage.write_u64(region.base, 7)
+            if loss_at is not None:
+                cluster.fabric.fault_rng = random.Random(0)
+                cluster.fabric.add_fault(
+                    LinkFault(loss_at, 1200.0, loss=1.0)
+                )
+            qp = thread.qp_for(remote.node_id)
+            out = {}
+
+            def worker():
+                batch = yield from verbs.post_and_wait(
+                    thread, qp,
+                    [read_wr(remote.storage.global_addr(region.base), 8)],
+                )
+                out["status"] = batch.status
+                out["result"] = batch.wrs[0].result
+                out["done"] = cluster.sim.now
+
+            cluster.sim.spawn(worker())
+            cluster.sim.run()
+            return compute, remote, out
+
+        clean_compute, _, clean = run_one()
+        config = clean_compute.config
+        # The ack leaves the responder one_way_latency before the CQE
+        # lands (plus CQE-poll overhead before the worker observes it).
+        # A window opening well after the request transit and closing
+        # before the retransmit fires loses exactly the first ack.
+        compute, remote, lossy = run_one(loss_at=clean["done"] - 1900.0)
+        # a lost ack is recovered by PSN-coordinated retransmit: the READ
+        # is not re-executed, and the result still arrives intact
+        assert lossy["status"] == WorkRequest.STATUS_OK
+        assert lossy["result"] == clean["result"]
+        assert compute.device.counters.retransmissions == 1
+        # the dropped response pays its full wire again: 8 B data + 30 B
+        # header, charged to the requester as wasted bytes
+        assert compute.device.counters.wasted_wire_bytes == 8 + 30
+        # and the requester eats exactly one ack-timeout of extra latency
+        assert lossy["done"] == clean["done"] + config.retransmit_timeout_ns
+
+    def test_write_response_is_just_the_ack_header(self):
+        cluster, compute, remote, region, thread = _one_thread_deployment()
+        qp = thread.qp_for(remote.node_id)
+
+        def worker():
+            yield from verbs.post_and_wait(
+                thread, qp,
+                [write_wr(remote.storage.global_addr(region.base), b"x" * 64)],
+            )
+
+        cluster.sim.spawn(worker())
+        cluster.sim.run()
+        # request direction: 64 B payload + 30 B header; return direction:
+        # a bare 30 B transport ack, NOT an echo of the request wire
+        assert cluster.fabric.bytes_carried == (64 + 30) + 30
+
+
+# -- ODP invalidation storms ---------------------------------------------------
+
+
+class TestOdpInvalidation:
+    def _odp_deployment(self):
+        cluster, compute, remote, region, thread = _one_thread_deployment()
+        odp_region = remote.storage.register_region("odp", 1 << 16,
+                                                    pinned=False)
+        return cluster, compute, remote, odp_region, thread
+
+    def test_storm_forces_resident_pages_to_refault(self):
+        cluster, compute, remote, region, thread = self._odp_deployment()
+        injector = FaultInjector(
+            cluster,
+            FaultSchedule(invalidations=(
+                OdpInvalidate(50_000.0, 0.0, remote.node_id),
+            )),
+        ).install()
+        qp = thread.qp_for(remote.node_id)
+        addr = remote.storage.global_addr(region.base)
+
+        def worker():
+            yield from verbs.post_and_wait(thread, qp, [read_wr(addr, 8)])
+            yield cluster.sim.timeout(100_000)  # storm fires in between
+            yield from verbs.post_and_wait(thread, qp, [read_wr(addr, 8)])
+
+        cluster.sim.spawn(worker())
+        cluster.sim.run()
+        # first touch faulted, the storm shot the translation down, and
+        # the re-touch of the *same* page faulted again
+        assert remote.device.counters.odp_faults == 2
+        assert remote.device.counters.odp_invalidations == 1
+        assert injector.invalidations_fired == 1
+        assert injector.stats()["odp_invalidation_storms"] == 1
+        assert injector.stats()["odp_faults"] == 2
+
+    def test_loss_window_start_shoots_down_translations(self):
+        cluster, compute, remote, region, thread = self._odp_deployment()
+        # A link reset implies an MMU-notifier resync: the loss window's
+        # start doubles as an invalidation storm on ODP devices.  Loss
+        # probability 0 within the window keeps the traffic itself clean.
+        injector = FaultInjector(
+            cluster,
+            FaultSchedule(link_faults=(
+                LinkFault(50_000.0, 10_000.0, loss=1e-12),
+            )),
+        ).install()
+        qp = thread.qp_for(remote.node_id)
+        addr = remote.storage.global_addr(region.base)
+
+        def worker():
+            yield from verbs.post_and_wait(thread, qp, [read_wr(addr, 8)])
+            yield cluster.sim.timeout(100_000)
+            yield from verbs.post_and_wait(thread, qp, [read_wr(addr, 8)])
+
+        cluster.sim.spawn(worker())
+        cluster.sim.run()
+        assert remote.device.counters.odp_faults == 2
+        assert remote.device.counters.odp_invalidations == 1
+        assert injector.stats()["odp_invalidation_storms"] == 1
+
+    def test_pinned_run_is_immune_to_storms(self):
+        cluster, compute, remote, region, thread = _one_thread_deployment()
+        injector = FaultInjector(
+            cluster,
+            FaultSchedule(invalidations=(OdpInvalidate(50_000.0),)),
+        ).install()
+        qp = thread.qp_for(remote.node_id)
+        addr = remote.storage.global_addr(region.base)
+
+        def worker():
+            yield from verbs.post_and_wait(thread, qp, [read_wr(addr, 8)])
+            yield cluster.sim.timeout(100_000)
+            yield from verbs.post_and_wait(thread, qp, [read_wr(addr, 8)])
+
+        cluster.sim.spawn(worker())
+        cluster.sim.run()
+        # no ODP state anywhere: the storm is a no-op and fires nothing
+        assert remote.device.odp is None
+        assert injector.invalidations_fired == 0
+        assert injector.stats()["odp_invalidations"] == 0
+
+    def test_sanitizer_flags_read_overlapping_invalidation(self):
+        from repro.analysis.rdmasan import RdmaSanitizer
+
+        cluster, compute, remote, region, thread = self._odp_deployment()
+        sanitizer = RdmaSanitizer().attach_cluster(cluster)
+        qp = thread.qp_for(remote.node_id)
+        addr = remote.storage.global_addr(region.base)
+
+        def worker():
+            # warm the page so there is a resident translation to shoot
+            yield from verbs.post_and_wait(thread, qp, [read_wr(addr, 8)])
+            # invalidate while the second READ is in flight
+            cluster.sim.call_after(
+                500.0,
+                lambda _v: remote.device.odp.invalidate_all(cluster.sim.now),
+                None,
+            )
+            yield from verbs.post_and_wait(thread, qp, [read_wr(addr, 8)])
+
+        cluster.sim.spawn(worker())
+        cluster.sim.run()
+        sanitizer.finish()
+        report = sanitizer.report()
+        kinds = {f["kind"] for f in report["findings"]}
+        assert "odp-invalidated-read" in kinds
+
 
 # -- end-to-end chaos smoke suite --------------------------------------------
 
@@ -317,7 +569,10 @@ class TestFaultCompletions:
 CHAOS_KW = dict(
     system="ford", benchmark="smallbank", threads=4, coroutines=4,
     item_count=20_000, warmup_ns=1.0e6, measure_ns=2.0e6,
-    faults="loss=0.01@1.1ms+1.6ms,crash=1@1.4ms+0.4ms", fault_seed=7,
+    # seed 9 leaves in-doubt log records at the crash, so the restart
+    # exercises FORD's NVM rollback (seeds differ only in *which* fault
+    # outcomes the window draws)
+    faults="loss=0.01@1.1ms+1.6ms,crash=1@1.4ms+0.4ms", fault_seed=9,
 )
 
 
