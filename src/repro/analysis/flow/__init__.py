@@ -1,0 +1,33 @@
+"""``repro.analysis.flow``: dataflow- and ownership-aware static analysis.
+
+The flat AST matching of :mod:`repro.analysis.lint` (SIM001–SIM005)
+catches single-node hygiene slips; this package proves *path* properties:
+
+* :mod:`~repro.analysis.flow.symbols` — per-module symbol tables (imports,
+  classes, functions, simple local type facts);
+* :mod:`~repro.analysis.flow.cfg` — a control-flow graph per function,
+  generator-aware, with ``try``/``except``/``finally`` routing and
+  abrupt-exit (``return``/``break``/``continue``/``raise``) edges;
+* :mod:`~repro.analysis.flow.dataflow` — a forward may-analysis worklist
+  over those CFGs;
+* :mod:`~repro.analysis.flow.rules` — the per-file rule families:
+  ownership/leak (FLW101–FLW103), determinism hazards (FLW201–FLW203)
+  and interrupt safety (FLW301–FLW302);
+* :mod:`~repro.analysis.flow.protocol` — the verbs-vs-declaration
+  cross-checker (FLW401–FLW403) diffing every statically extracted
+  one-sided access site against the app's ``declare_sanitizer_regions``;
+* :mod:`~repro.analysis.flow.baseline` — the committed-findings baseline
+  (the CI gate fails only on *new* findings);
+* :mod:`~repro.analysis.flow.output` — JSON and SARIF 2.1.0 emitters.
+
+Run as ``python -m repro.analysis.flow [paths...]``; see
+``docs/MODEL.md`` §15 for the rule catalog and baseline workflow.
+"""
+
+from repro.analysis.flow.engine import (  # noqa: F401
+    FlowFinding,
+    RULES,
+    analyze_paths,
+    analyze_source,
+    main,
+)

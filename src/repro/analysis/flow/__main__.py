@@ -1,0 +1,8 @@
+"""``python -m repro.analysis.flow`` entry point."""
+
+import sys
+
+from repro.analysis.flow.engine import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Findings baseline: the gate fails only on *new* findings.
+
+A baseline file maps finding *fingerprints* to accepted counts::
+
+    {"version": 1, "baseline": {"src/repro/x.py::Cls.fn::FLW302": 2, ...}}
+
+Fingerprints deliberately exclude line numbers — ``path::scope::rule``
+— so unrelated edits that shift a known finding up or down the file do
+not break the gate, while a *second* occurrence of the same rule in the
+same function (count exceeded) still fails.  ``suppress`` consumes the
+accepted count in (line, col) order and returns only the overflow.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+VERSION = 1
+
+
+def fingerprint(path: str, scope: str, rule: str) -> str:
+    """``path::scope::rule``, with ``path`` normalized relative to the
+    working directory so absolute and relative invocations agree on the
+    same baseline keys (the committed baseline is repo-root-relative)."""
+    norm = path.replace("\\", "/")
+    try:
+        resolved = Path(path).resolve()
+        cwd = Path.cwd().resolve()
+        if resolved.is_relative_to(cwd):
+            norm = resolved.relative_to(cwd).as_posix()
+    except (OSError, ValueError):
+        pass
+    return f"{norm}::{scope}::{rule}"
+
+
+def load(path: Path) -> Dict[str, int]:
+    """Read a baseline file; missing file means an empty baseline."""
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {data.get('version')!r}"
+        )
+    baseline = data.get("baseline", {})
+    if not isinstance(baseline, dict):
+        raise ValueError(f"{path}: baseline must be an object")
+    return {str(key): int(count) for key, count in baseline.items()}
+
+
+def dump(findings: Iterable, path: Path) -> Dict[str, int]:
+    """Write the baseline that accepts exactly ``findings``."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.fingerprint()] = counts.get(finding.fingerprint(), 0) + 1
+    payload = {"version": VERSION, "baseline": dict(sorted(counts.items()))}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return counts
+
+
+def suppress(findings: Sequence, baseline: Dict[str, int]) -> Tuple[List, List]:
+    """Split findings into (new, accepted) against the baseline.
+
+    Occurrences of one fingerprint are consumed in source order: with an
+    accepted count of 2 and three occurrences, the third is new.
+    """
+    remaining = dict(baseline)
+    new: List = []
+    accepted: List = []
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+    for finding in ordered:
+        key = finding.fingerprint()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            accepted.append(finding)
+        else:
+            new.append(finding)
+    return new, accepted

@@ -1,0 +1,552 @@
+"""Per-file flow rules: ownership/leak, determinism hazards, interrupt safety.
+
+Rule catalog (see docs/MODEL.md §15 for rationale and suppression):
+
+* **FLW101 lock-path-leak** — a lock/token acquired in a function
+  (``yield x.acquire()`` / ``yield from x.acquire()`` / ``yield
+  x.take()``) is released on at least one path but *not* on every path
+  to function exit (abrupt exits included).  Functions with zero
+  releases of the key transfer ownership elsewhere and are exempt.
+* **FLW102 interrupt-unsafe-hold** — a process generator yields while
+  holding a directly-acquired lock, outside any ``try`` whose
+  ``finally`` releases it: an :class:`~repro.sim.core.Interrupt`
+  delivered at that yield leaks the lock.
+* **FLW103 unjoined-spawn** — ``spawn(...)`` as a bare expression
+  statement: the returned Process — its completion event *and* its
+  ``error`` — can never be observed.
+* **FLW201 nondet-set-order** — iteration over a set drives
+  scheduling or RNG calls; set order varies across interpreter runs.
+* **FLW202 float-ns-accumulation** — ``+=``/``-=`` of float-valued
+  arithmetic into a ``*_ns`` name without ``int(round(...))``.
+* **FLW203 unthreaded-seed** — ``Random()`` seeded from the OS, or a
+  constant seed inside a function that has a ``seed`` parameter.
+* **FLW301 yield-in-except** — a process generator yields inside a
+  broad (bare/``Exception``/``BaseException``/``Interrupt``) handler.
+* **FLW302 yield-in-finally** — a process generator yields inside
+  ``finally``; a second interrupt (or generator close) skips cleanup.
+
+Each rule reports :class:`RawFinding` tuples; the engine applies
+pragmas, paths and the baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.flow.astutil import (
+    BROAD_EXCEPTION_NAMES,
+    ancestors,
+    call_text,
+    handler_names,
+    leaf_name,
+    own_scope,
+    parent_map,
+)
+from repro.analysis.flow.cfg import EXIT, build_cfg
+from repro.analysis.flow.dataflow import forward_may
+from repro.analysis.flow.symbols import ModuleSymbols, build_symbols
+
+RULES: Dict[str, str] = {
+    "FLW101": "resource acquired but not released on every path to exit",
+    "FLW102": "yield while holding a lock without a finally that releases it",
+    "FLW103": "spawned process neither stored nor awaited",
+    "FLW201": "set iteration order feeds scheduling/RNG decisions",
+    "FLW202": "float arithmetic accumulates into a *_ns value",
+    "FLW203": "RNG seed not threaded from configuration",
+    "FLW301": "yield inside a broad except handler of a process generator",
+    "FLW302": "yield inside finally of a process generator",
+}
+
+#: acquire attr -> matching release attr
+_ACQUIRE_PAIRS = {"acquire": "release", "take": "put"}
+
+_SCHEDULING_CALLS = {
+    "spawn", "call_at", "call_after", "timeout", "fire", "interrupt", "schedule",
+}
+_RNG_CALLS = {
+    "random", "randrange", "randint", "choice", "choices", "shuffle",
+    "sample", "uniform", "getrandbits", "gauss", "expovariate", "randbytes",
+}
+
+
+@dataclass(frozen=True)
+class RawFinding:
+    rule: str
+    line: int
+    col: int
+    end_line: int
+    message: str
+    #: enclosing function qualname ('' at module level) — the stable
+    #: scope component of baseline fingerprints
+    scope: str = ""
+
+
+def _flag(findings: List[RawFinding], rule: str, node: ast.AST, message: str,
+          scope: str = "") -> None:
+    findings.append(
+        RawFinding(
+            rule=rule,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            end_line=getattr(node, "end_lineno", None) or getattr(node, "lineno", 0),
+            message=message,
+            scope=scope,
+        )
+    )
+
+
+# -- resource-key extraction --------------------------------------------------
+
+
+def _acquire_call(node: ast.expr) -> Optional[Tuple[ast.Call, str]]:
+    """``(call, kind)`` when ``node`` is a ``yield``/``yield from`` of an
+    acquire-style call; kind is 'direct' for ``yield x.acquire(...)``
+    (FifoLock idiom), 'delegated' for ``yield from helper.acquire(...)``."""
+    if isinstance(node, ast.Yield) and isinstance(node.value, ast.Call):
+        call = node.value
+        kind = "direct"
+    elif isinstance(node, ast.YieldFrom) and isinstance(node.value, ast.Call):
+        call = node.value
+        kind = "delegated"
+    else:
+        return None
+    if isinstance(call.func, ast.Attribute) and call.func.attr in _ACQUIRE_PAIRS:
+        return call, kind
+    return None
+
+
+def _resource_key(call: ast.Call) -> Tuple[str, Optional[str]]:
+    """``(receiver text, discriminator)`` identifying the resource.
+
+    The discriminator is the last positional argument (sherman's lock
+    table takes the lock address there); keyword-only calls — FifoLock's
+    ``acquire(owner=...)`` — discriminate by receiver alone.
+    """
+    receiver = call_text(call.func.value)
+    discriminator = call_text(call.args[-1]) if call.args else None
+    return receiver, discriminator
+
+
+def _release_keys(stmt: ast.stmt, release_attr: str) -> Set[Tuple[str, Optional[str]]]:
+    keys: Set[Tuple[str, Optional[str]]] = set()
+    for sub in ast.walk(stmt):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == release_attr
+        ):
+            keys.add(_resource_key(sub))
+    return keys
+
+
+def _keys_match(acquired: Tuple[str, Optional[str]],
+                released: Tuple[str, Optional[str]]) -> bool:
+    if acquired[0] != released[0]:
+        return False
+    if acquired[1] is None or released[1] is None:
+        return True
+    return acquired[1] == released[1]
+
+
+# -- ownership rules (CFG + dataflow) ----------------------------------------
+
+
+def _check_ownership(info, findings: List[RawFinding],
+                     parents: Dict[ast.AST, ast.AST]) -> None:
+    fn = info.node
+    cfg = build_cfg(fn)
+
+    # Acquire sites: node id -> (key, release attr, kind, call node).
+    acquires: Dict[int, Tuple[Tuple[str, Optional[str]], str, str, ast.Call]] = {}
+    releases: Dict[int, Set[Tuple[str, Optional[str]]]] = {}
+    release_attrs: Set[str] = set()
+    for node_id in range(cfg.node_count):
+        # Scan only the expressions a node evaluates itself: a compound
+        # header shares its stmt object with its body, whose statements
+        # have nodes of their own — walking the whole subtree would
+        # register every nested acquire twice.
+        for root in cfg.own_exprs(node_id):
+            for expr in ast.walk(root):
+                found = _acquire_call(expr)
+                if found is None:
+                    continue
+                call, kind = found
+                if kind != "direct":
+                    # ``yield from helper.acquire(...)`` delegates to an
+                    # app-level protocol (sherman's lock table hands over
+                    # across functions); only the sim-lock idiom is tracked.
+                    continue
+                key = _resource_key(call)
+                release_attr = _ACQUIRE_PAIRS[call.func.attr]
+                acquires[node_id] = (key, release_attr, kind, call)
+                release_attrs.add(release_attr)
+    if not acquires:
+        return
+    for node_id in range(cfg.node_count):
+        keys: Set[Tuple[str, Optional[str]]] = set()
+        for root in cfg.own_exprs(node_id):
+            for attr in release_attrs:
+                keys |= _release_keys(root, attr)
+        if keys:
+            releases[node_id] = keys
+    # Correlated guards: ``if qp.share_lock is not None:`` around both
+    # the acquire and the release means the skip-release branch is
+    # infeasible once the lock was acquired; path-insensitive dataflow
+    # can't see that, so a release guarded by an If that *mentions the
+    # resource's receiver* also kills at the header — both arms then
+    # leave the fact dead.
+    for node_id in range(cfg.node_count):
+        stmt = cfg.stmts[node_id]
+        if not isinstance(stmt, ast.If):
+            continue
+        test_text = call_text(stmt.test)
+        guarded: Set[Tuple[str, Optional[str]]] = set()
+        for attr in release_attrs:
+            guarded |= _release_keys(stmt, attr)
+        matched = {key for key in guarded if key[0] in test_text}
+        if matched:
+            releases.setdefault(node_id, set()).update(matched)
+
+    # One dataflow fact per acquire *site* (same lock acquired twice =
+    # two facts) so each site reports independently.
+    gen: Dict[int, Set[object]] = {}
+    kill: Dict[int, Set[object]] = {}
+    facts: Dict[object, Tuple[Tuple[str, Optional[str]], str, str, ast.Call, int]] = {}
+    for node_id, (key, release_attr, kind, call) in acquires.items():
+        fact = ("res", node_id)
+        facts[fact] = (key, release_attr, kind, call, node_id)
+        gen[node_id] = {fact}
+    for node_id, released in releases.items():
+        killed: Set[object] = set()
+        for fact, (key, _attr, _kind, _call, acq_node) in facts.items():
+            if any(_keys_match(key, rel) for rel in released):
+                killed.add(fact)
+        if killed:
+            kill[node_id] = killed
+
+    in_facts, _out = forward_may(cfg, gen, kill)
+
+    # FLW101: held at EXIT though the function does release it somewhere.
+    for fact in in_facts[EXIT]:
+        key, release_attr, kind, call, acq_node = facts[fact]
+        has_release = any(
+            any(_keys_match(key, rel) for rel in released)
+            for released in releases.values()
+        )
+        if not has_release:
+            continue  # ownership transferred out of this function
+        _flag(
+            findings, "FLW101", call,
+            f"{key[0]}.{call.func.attr}() is released on some paths but a "
+            "path to function exit keeps it held (release in a finally or "
+            "on every branch)",
+            scope=info.qualname,
+        )
+
+    # FLW102: yields while holding a *directly* yielded lock, with no
+    # finally-release covering the yield.
+    reported: Set[object] = set()
+    for node_id in sorted(
+        range(cfg.node_count),
+        key=lambda n: getattr(cfg.stmts[n], "lineno", 0) if cfg.stmts[n] else 0,
+    ):
+        stmt = cfg.stmts[node_id]
+        if stmt is None:
+            continue
+        yields = cfg.yields_in(node_id)
+        if not yields:
+            continue
+        for fact in in_facts.get(node_id, ()):  # held entering this stmt
+            if fact in reported:
+                continue
+            key, release_attr, kind, call, acq_node = facts[fact]
+            if kind != "direct":
+                continue
+            has_release = any(
+                any(_keys_match(key, rel) for rel in released)
+                for released in releases.values()
+            )
+            if not has_release:
+                continue
+            if node_id in releases and any(
+                _keys_match(key, rel) for rel in releases[node_id]
+            ):
+                continue  # this statement is (or contains) the release
+            if node_id in acquires:
+                acq_here = acquires[node_id][0]
+                if _keys_match(key, acq_here) and acquires[node_id][3] is call:
+                    continue
+            if _finally_protected(stmt, key, release_attr, parents):
+                continue
+            reported.add(fact)
+            _flag(
+                findings, "FLW102", stmt,
+                f"yield while holding {key[0]} (acquired line {call.lineno}) "
+                "outside a try/finally that releases it; an Interrupt "
+                "delivered here leaks the lock",
+                scope=info.qualname,
+            )
+
+
+def _finally_protected(stmt: ast.AST, key: Tuple[str, Optional[str]],
+                       release_attr: str,
+                       parents: Dict[ast.AST, ast.AST]) -> bool:
+    """Is ``stmt`` inside a ``try`` body whose ``finally`` releases key?"""
+    child = stmt
+    for node in ancestors(stmt, parents):
+        if isinstance(node, ast.Try) and node.finalbody:
+            in_protected = any(
+                child is s or any(child is sub for sub in ast.walk(s))
+                for s in (*node.body, *node.orelse, *node.handlers)
+            )
+            if in_protected:
+                for final_stmt in node.finalbody:
+                    released = _release_keys(final_stmt, release_attr)
+                    if any(_keys_match(key, rel) for rel in released):
+                        return True
+        child = node
+    return False
+
+
+# -- FLW103: unjoined spawns --------------------------------------------------
+
+
+def _check_spawns(symbols: ModuleSymbols, findings: List[RawFinding],
+                  scope_of) -> None:
+    for node in ast.walk(symbols.tree):
+        if not isinstance(node, ast.Expr):
+            continue
+        value = node.value
+        if isinstance(value, (ast.Yield, ast.YieldFrom)):
+            continue  # awaited
+        if (
+            isinstance(value, ast.Call)
+            and leaf_name(value.func) == "spawn"
+        ):
+            _flag(
+                findings, "FLW103", node,
+                "spawn(...) result discarded: the Process (completion event "
+                "and error) can never be awaited or checked — store the "
+                "handle",
+                scope=scope_of(node),
+            )
+
+
+# -- determinism hazards ------------------------------------------------------
+
+
+def _set_valued_iter(node: ast.expr, set_locals: Set[str],
+                     set_attrs: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    if isinstance(node, ast.Name):
+        return node.id in set_locals
+    if isinstance(node, ast.Attribute):
+        return node.attr in set_attrs
+    return False
+
+
+def _body_schedules_or_draws(stmts: List[ast.stmt]) -> Optional[ast.AST]:
+    for stmt in stmts:
+        for sub in own_scope_many(stmt):
+            if isinstance(sub, ast.Call):
+                name = leaf_name(sub.func)
+                if name in _SCHEDULING_CALLS or name in _RNG_CALLS:
+                    return sub
+    return None
+
+
+def own_scope_many(stmt: ast.stmt):
+    yield stmt
+    yield from own_scope(stmt)
+
+
+def _check_determinism(symbols: ModuleSymbols, findings: List[RawFinding],
+                       parents: Dict[ast.AST, ast.AST], scope_of,
+                       in_rng_module: bool) -> None:
+    # Set-typed attribute names anywhere in the module (``self.users =
+    # set()`` inside __init__ marks ``users``).
+    set_attrs: Set[str] = set()
+    for node in ast.walk(symbols.tree):
+        if isinstance(node, ast.Assign):
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            value = node.value
+        else:
+            continue
+        if isinstance(value, (ast.Set, ast.SetComp)) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in {"set", "frozenset"}
+        ):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute):
+                    set_attrs.add(target.attr)
+
+    for info in symbols.functions:
+        fn_sets = info.set_names | symbols.set_names
+        for node in own_scope(info.node):
+            # FLW201
+            if isinstance(node, ast.For) and _set_valued_iter(
+                node.iter, fn_sets, set_attrs
+            ):
+                culprit = _body_schedules_or_draws(node.body)
+                if culprit is not None:
+                    _flag(
+                        findings, "FLW201", node,
+                        "iterating a set while scheduling or drawing RNG "
+                        f"inside the loop ({call_text(culprit)[:60]}): set "
+                        "order is not stable across runs — iterate "
+                        "sorted(...) instead",
+                        scope=info.qualname,
+                    )
+            # FLW202
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                target_name = leaf_name(node.target)
+                if target_name and target_name.endswith("_ns"):
+                    if _float_tainted(node.value):
+                        _flag(
+                            findings, "FLW202", node,
+                            f"float arithmetic accumulates into "
+                            f"{target_name}; timestamps are integer ns — "
+                            "wrap the increment in int(round(...))",
+                            scope=info.qualname,
+                        )
+            # FLW203
+            elif isinstance(node, ast.Call) and leaf_name(node.func) == "Random":
+                if in_rng_module:
+                    continue
+                if not node.args and not node.keywords:
+                    _flag(
+                        findings, "FLW203", node,
+                        "Random() with no seed draws entropy from the OS; "
+                        "thread the configured seed through instead",
+                        scope=info.qualname,
+                    )
+                elif (
+                    len(node.args) == 1
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, (int, float))
+                    and _has_seed_param(info.node)
+                ):
+                    _flag(
+                        findings, "FLW203", node,
+                        "constant seed ignores this function's `seed` "
+                        "parameter; derive the RNG from the configured seed",
+                        scope=info.qualname,
+                    )
+
+
+def _float_tainted(node: ast.expr) -> bool:
+    """Does evaluating ``node`` produce a float, outside int()/round()?"""
+    if isinstance(node, ast.Call) and leaf_name(node.func) in {"int", "round"}:
+        return False
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _float_tainted(node.left) or _float_tainted(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _float_tainted(node.operand)
+    if isinstance(node, (ast.IfExp,)):
+        return _float_tainted(node.body) or _float_tainted(node.orelse)
+    if isinstance(node, ast.Call):
+        name = leaf_name(node.func)
+        return name in _RNG_CALLS  # rng.random() and friends are floats
+    return False
+
+
+def _has_seed_param(fn: ast.AST) -> bool:
+    args = fn.args
+    every = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    return any(a.arg == "seed" for a in every)
+
+
+# -- interrupt safety ---------------------------------------------------------
+
+
+def _check_interrupt_safety(symbols: ModuleSymbols,
+                            findings: List[RawFinding]) -> None:
+    for info in symbols.functions:
+        if not info.is_process:
+            continue
+        for node in own_scope(info.node):
+            if not isinstance(node, ast.Try):
+                continue
+            # FLW301: yields in broad handlers.
+            for handler in node.handlers:
+                names = handler_names(handler)
+                broad = (
+                    handler.type is None
+                    or names & BROAD_EXCEPTION_NAMES
+                    or "Interrupt" in names
+                )
+                if not broad:
+                    continue
+                for stmt in handler.body:
+                    for sub in own_scope_many(stmt):
+                        if isinstance(sub, (ast.Yield, ast.YieldFrom)):
+                            _flag(
+                                findings, "FLW301", sub,
+                                "yield inside a broad except of a process "
+                                "generator: a pending Interrupt can be "
+                                "swallowed or re-entered while waiting in "
+                                "the handler",
+                                scope=info.qualname,
+                            )
+                            break
+                    else:
+                        continue
+                    break
+            # FLW302: yields in finally.
+            for stmt in node.finalbody:
+                for sub in own_scope_many(stmt):
+                    if isinstance(sub, (ast.Yield, ast.YieldFrom)):
+                        _flag(
+                            findings, "FLW302", sub,
+                            "yield inside finally of a process generator: "
+                            "an Interrupt (or generator close) during the "
+                            "wait skips the rest of the cleanup",
+                            scope=info.qualname,
+                        )
+                        break
+                else:
+                    continue
+                break
+
+
+# -- entry point --------------------------------------------------------------
+
+
+def check_module(tree: ast.Module, path: str = "<string>") -> List[RawFinding]:
+    """Run every per-file rule over one parsed module."""
+    symbols = build_symbols(tree, path)
+    parents = parent_map(tree)
+    findings: List[RawFinding] = []
+
+    def scope_of(node: ast.AST) -> str:
+        for anc in ancestors(node, parents):
+            info = symbols.function_for(anc)
+            if info is not None:
+                return info.qualname
+        return ""
+
+    norm = path.replace("\\", "/")
+    in_rng_module = norm.endswith("sim/rng.py")
+
+    for info in symbols.functions:
+        _check_ownership(info, findings, parents)
+    _check_spawns(symbols, findings, scope_of)
+    _check_determinism(symbols, findings, parents, scope_of, in_rng_module)
+    _check_interrupt_safety(symbols, findings)
+
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings

@@ -178,12 +178,19 @@ def lint_source(source: str, path: str = "<string>") -> List[Finding]:
                     f"syntax error: {error.msg}")
         ]
     findings: List[Finding] = []
+    #: finding -> last source line of the flagged node, so a pragma on
+    #: the closing line of a multi-line statement also suppresses it
+    end_lines: Dict[int, int] = {}
 
     def flag(node: ast.AST, rule: str) -> None:
-        findings.append(
-            Finding(path, getattr(node, "lineno", 0), getattr(node, "col_offset", 0),
-                    rule, RULES[rule])
+        finding = Finding(
+            path, getattr(node, "lineno", 0), getattr(node, "col_offset", 0),
+            rule, RULES[rule]
         )
+        end_lines[id(finding)] = (
+            getattr(node, "end_lineno", None) or finding.line
+        )
+        findings.append(finding)
 
     in_rng_module = path.replace("\\", "/").endswith("sim/rng.py")
 
@@ -237,10 +244,15 @@ def lint_source(source: str, path: str = "<string>") -> List[Finding]:
                     flag(child, "SIM005")
 
     disabled = _pragmas(source)
-    return [
-        f for f in findings
-        if f.rule not in disabled.get(f.line, ()) and "ALL" not in disabled.get(f.line, ())
-    ]
+    kept: List[Finding] = []
+    for f in findings:
+        rules = disabled.get(f.line, set()) | disabled.get(
+            end_lines.get(id(f), f.line), set()
+        )
+        if f.rule in rules or "ALL" in rules:
+            continue
+        kept.append(f)
+    return kept
 
 
 def _check_broad_except(try_node: ast.Try, flag) -> None:
@@ -276,13 +288,21 @@ def lint_file(path: Path) -> List[Finding]:
 
 
 def lint_paths(paths: Sequence[Path]) -> tuple:
-    """Lint every ``.py`` under ``paths``; returns (findings, file count)."""
+    """Lint every ``.py`` under ``paths``; returns (findings, file count).
+
+    Overlapping inputs (a file *and* its parent directory, repeated
+    arguments, the same file through different relative spellings) are
+    linted — and counted — exactly once.
+    """
     files: List[Path] = []
+    seen: Set[Path] = set()
     for path in paths:
-        if path.is_dir():
-            files.extend(sorted(path.rglob("*.py")))
-        else:
-            files.append(path)
+        candidates = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for file in candidates:
+            key = file.resolve()
+            if key not in seen:
+                seen.add(key)
+                files.append(file)
     findings: List[Finding] = []
     for file in files:
         findings.extend(lint_file(file))

@@ -252,12 +252,13 @@ def run_microbench(
                 latencies.append(sim.now - start)
 
     rng = random.Random(seed)
+    workers = []
     if smart_threads:
         for smart in smart_threads:
-            sim.spawn(smart_worker(smart, random.Random(rng.random())))
+            workers.append(sim.spawn(smart_worker(smart, random.Random(rng.random()))))
     else:
         for thread in compute.threads:
-            sim.spawn(raw_worker(thread, random.Random(rng.random())))
+            workers.append(sim.spawn(raw_worker(thread, random.Random(rng.random()))))
 
     sim.run(until=warmup_ns)
     snapshot = compute.device.counters.snapshot()
@@ -377,9 +378,11 @@ def run_dynamic_microbench(
             yield sim.timeout(changing_interval_ns)
             active[0] = choices[rng.randrange(len(choices))]
 
-    for i, smart in enumerate(smart_threads):
+    workers = [
         sim.spawn(worker(i, smart, random.Random(rng.random())))
-    sim.spawn(controller())
+        for i, smart in enumerate(smart_threads)
+    ]
+    control_process = sim.spawn(controller())
 
     warmup = min(2e6, total_ns / 10)
     sim.run(until=warmup)

@@ -396,10 +396,11 @@ def run_hashtable(
                 yield gap
 
     stream_seed = random.Random(seed)
+    clients = []
     for smart in deployment.smart_threads:
         for _ in range(coroutines):
             stream = workload.stream(item_count, stream_seed.getrandbits(31))
-            sim.spawn(client_coroutine(smart, stream))
+            clients.append(sim.spawn(client_coroutine(smart, stream)))
 
     stats = measure(deployment, warmup_ns, measure_ns)
     result = result_from_stats(
@@ -512,9 +513,12 @@ def run_dtx(
                 if gap is not None:
                     yield gap
 
+    clients = []
     for smart in deployment.smart_threads:
         for _ in range(coroutines):
-            sim.spawn(client_coroutine(smart, stream_seed.getrandbits(31)))
+            clients.append(
+                sim.spawn(client_coroutine(smart, stream_seed.getrandbits(31)))
+            )
 
     stats = measure(deployment, warmup_ns, measure_ns)
     result = result_from_stats(
@@ -620,11 +624,14 @@ def run_btree(
             if gap is not None:
                 yield gap
 
+    clients = []
     for node_threads in clients_per_node:
         for smart, index_cache, locks, spec in node_threads:
             for _ in range(coroutines):
                 stream = workload.stream(item_count, stream_seed.getrandbits(31))
-                sim.spawn(client_coroutine(smart, index_cache, locks, spec, stream))
+                clients.append(
+                    sim.spawn(client_coroutine(smart, index_cache, locks, spec, stream))
+                )
 
     deployment = Deployment(cluster, nodes, nodes, smart_threads, features)
     if obs is not None:

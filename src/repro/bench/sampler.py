@@ -25,7 +25,7 @@ class CounterSampler:
         #: [(time_ns, MOPS over the last period)]
         self.samples: List[Tuple[int, float]] = []
         self._stopped = False
-        sim.spawn(self._loop(), name="counter-sampler")
+        self.process = sim.spawn(self._loop(), name="counter-sampler")
 
     def stop(self) -> None:
         self._stopped = True

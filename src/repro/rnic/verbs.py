@@ -54,30 +54,37 @@ def post_send(thread, qp: QueuePair, wrs: List[WorkRequest], actor=None) -> Gene
     if qp.share_lock is not None:
         qp.note_user(thread_id)
         yield qp.share_lock.acquire(owner=thread_id)
-        thread.mark_busy_until_now()
-        # Contended lock word: every acquisition fights the sharers'
-        # spinning reads (cache-line bouncing).
-        yield from thread.compute(qp.sharing_penalty_ns(config))
-    doorbell = qp.doorbell
-    doorbell.note_user(thread_id)
-    wait_start = device.sim.now
-    yield doorbell.lock.acquire(owner=thread_id)
-    # The wait above was a spin: the thread's CPU was burning the whole
-    # time, so bring its watermark up to now before the locked section.
-    thread.mark_busy_until_now()
-    if device.recorder is not None and device.sim.now > wait_start:
-        device.recorder.instant(
-            device.name, "requester", "doorbell_stall", device.sim.now,
-            {"doorbell": doorbell.index, "thread": thread_id,
-             "stall_ns": device.sim.now - wait_start},
-        )
-    # With request merging on, fused neighbours share one WQE: the
-    # write-combining copy under the lock covers wire_wrs WQEs, not one
-    # per posted WR (wire_wrs == len(wrs) when merging is off).
-    yield from thread.compute(doorbell.held_cost_ns(config, batch.wire_wrs))
-    doorbell.lock.release(owner=thread_id)
-    if qp.share_lock is not None:
-        qp.share_lock.release(owner=thread_id)
+    try:
+        if qp.share_lock is not None:
+            thread.mark_busy_until_now()
+            # Contended lock word: every acquisition fights the sharers'
+            # spinning reads (cache-line bouncing).
+            yield from thread.compute(qp.sharing_penalty_ns(config))
+        doorbell = qp.doorbell
+        doorbell.note_user(thread_id)
+        wait_start = device.sim.now
+        yield doorbell.lock.acquire(owner=thread_id)
+        try:
+            # The wait above was a spin: the thread's CPU was burning the
+            # whole time, so bring its watermark up to now before the
+            # locked section.
+            thread.mark_busy_until_now()
+            if device.recorder is not None and device.sim.now > wait_start:
+                device.recorder.instant(
+                    device.name, "requester", "doorbell_stall", device.sim.now,
+                    {"doorbell": doorbell.index, "thread": thread_id,
+                     "stall_ns": device.sim.now - wait_start},
+                )
+            # With request merging on, fused neighbours share one WQE: the
+            # write-combining copy under the lock covers wire_wrs WQEs,
+            # not one per posted WR (wire_wrs == len(wrs) when merging is
+            # off).
+            yield from thread.compute(doorbell.held_cost_ns(config, batch.wire_wrs))
+        finally:
+            doorbell.lock.release(owner=thread_id)
+    finally:
+        if qp.share_lock is not None:
+            qp.share_lock.release(owner=thread_id)
 
     doorbell.rings += 1
     device.counters.doorbell_rings += 1

@@ -68,6 +68,8 @@ class OpenLoopEngine:
         self.sim = sim
         self.seed = seed
         self.tenants: List[TenantState] = []
+        #: arrival/worker Process handles, so failures stay inspectable
+        self.processes: List = []
 
     # -- wiring ------------------------------------------------------------
 
@@ -89,12 +91,16 @@ class OpenLoopEngine:
             seed=(self.seed << 8) ^ arrival_seed,
         )
         self.tenants.append(state)
-        self.sim.spawn(
-            self._arrival_loop(state, arrival_seed), name=f"{spec.name}.arrivals"
+        self.processes.append(
+            self.sim.spawn(
+                self._arrival_loop(state, arrival_seed), name=f"{spec.name}.arrivals"
+            )
         )
         for index, factory in enumerate(executors):
-            self.sim.spawn(
-                self._worker_loop(state, factory), name=f"{spec.name}.w{index}"
+            self.processes.append(
+                self.sim.spawn(
+                    self._worker_loop(state, factory), name=f"{spec.name}.w{index}"
+                )
             )
         return state
 

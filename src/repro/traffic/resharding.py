@@ -291,9 +291,9 @@ def run_resharding(
     result.phases.extend(_phase_rows_from_zero(states))
 
     if mode == "autoscale":
-        sim.spawn(autoscaler.run(), name="autoscaler")
+        migrator_process = sim.spawn(autoscaler.run(), name="autoscaler")
     else:
-        sim.spawn(
+        migrator_process = sim.spawn(
             tracked(grow_fleet if mode == "add_blade" else drain_last),
             name="migrator",
         )
