@@ -38,6 +38,9 @@ THROUGHPUT_KEYS = (
     # (machine-independent), so any drift below the floor means the
     # ODP/merging cost model changed — not that the host was slow.
     "odp_merge_point_mops",
+    # Simulated edge throughput of the near-memory offload BFS point —
+    # deterministic for the same reason.
+    "offload_point_edges_per_us",
 )
 
 

@@ -161,6 +161,30 @@ def test_odp_merge_point_wallclock(benchmark):
     assert result.merged_wrs > 0, "seq access must merge"
 
 
+# -- near-memory offload graph point ------------------------------------------
+
+
+def _offload_point():
+    from repro.bench.graph_runner import run_graph
+
+    return run_graph(
+        mode="offload", algo="bfs", vertices=128, degree=6, skew=0.6,
+        seed=1, chunk=32,
+    )
+
+
+def test_offload_point_wallclock(benchmark):
+    result = benchmark.pedantic(_offload_point, rounds=1, iterations=1)
+    _metrics["offload_point_wall_s"] = benchmark.stats.stats.min
+    # Simulated edge throughput is deterministic (machine-independent),
+    # so the gate pins it exactly: drift means the offload cost model or
+    # the BFS chunking changed, not that the host was slow.
+    _metrics["offload_point_edges_per_us"] = result.edges_per_us
+    assert result.edges_per_us > 0
+    assert result.am_messages > 0, "offload mode must use active messages"
+    assert result.wasted_iops == 0, "offload must not burn CAS retries"
+
+
 # -- parallel sweep speedup ----------------------------------------------------
 
 

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""BFS over a skewed R-MAT graph, three ways.
+
+Partitions a seeded graph across two memory blades, then traverses it
+with each execution mode (docs/MODEL.md §16):
+
+* ``onesided`` — READ adjacency lists, claim vertices with CAS: the
+  paper's pure one-sided world, which burns retries on hub vertices;
+* ``rpc``      — one active message per edge: no CAS waste, but one
+  round trip per edge;
+* ``offload``  — chunked per-blade handlers claim locally next to the
+  data and return only the cross-blade escapes.
+
+All three must produce the bit-identical answer; only the clock and the
+wasted-IOPS ledger differ.  Run:
+
+    python examples/graph_offload.py
+"""
+
+from repro.bench.graph_runner import run_graph
+
+
+def main():
+    kw = dict(algo="bfs", vertices=192, degree=6, skew=0.6, seed=3,
+              threads=2, coroutines=2, chunk=32)
+    print("BFS, 192 vertices, degree 6, R-MAT skew 0.6, 2 memory blades")
+    print(f"{'mode':9s} {'elapsed (us)':>13s} {'edges/us':>9s} "
+          f"{'wasted IOPS':>12s} {'AMs':>6s} {'checksum':>10s}")
+    results = []
+    for mode in ("onesided", "rpc", "offload"):
+        result = run_graph(mode=mode, **kw)
+        results.append(result)
+        print(
+            f"{mode:9s} {result.elapsed_ns / 1e3:13.1f} "
+            f"{result.edges_per_us:9.2f} {result.wasted_iops:12d} "
+            f"{result.am_messages:6d} {result.levels_checksum % 10**8:10d}"
+        )
+    assert len({r.levels_checksum for r in results}) == 1, "modes diverged!"
+    print()
+    print("Identical checksums: the differential invariant holds.  Offload")
+    print("eliminates the CAS-retry IOPS one-sided claiming burns on the")
+    print("skewed hubs, and finishes an order of magnitude sooner.")
+
+
+if __name__ == "__main__":
+    main()

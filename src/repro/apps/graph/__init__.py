@@ -1,0 +1,40 @@
+"""Graph workload on disaggregated memory (BFS + PageRank, three ways).
+
+Adjacency lists live on the memory blades; clients traverse them with
+one of three execution strategies sharing identical semantics:
+
+* ``onesided`` — pure one-sided verbs: READ the adjacency, claim /
+  accumulate with remote CAS (failed CASes are the RACE-style wasted
+  IOPS this workload is built to expose);
+* ``rpc`` — one-sided adjacency fetch, but every claim/accumulate is a
+  fine-grained active message (one RPC per edge);
+* ``offload`` — near-memory compute: coarse per-blade active messages
+  run whole frontier chunks next to the data and return only the
+  cross-blade escape edges.
+
+All three produce bit-identical levels/ranks on a fixed seed (the
+differential harness in ``tests/`` checks exactly that).
+"""
+
+from repro.apps.graph.client import GraphClient, GraphStats
+from repro.apps.graph.server import (
+    GraphMeta,
+    GraphServer,
+    PR_BASE,
+    PR_DAMP_DEN,
+    PR_DAMP_NUM,
+    PR_SCALE,
+    UNVISITED,
+)
+
+__all__ = [
+    "GraphClient",
+    "GraphStats",
+    "GraphMeta",
+    "GraphServer",
+    "UNVISITED",
+    "PR_SCALE",
+    "PR_BASE",
+    "PR_DAMP_NUM",
+    "PR_DAMP_DEN",
+]

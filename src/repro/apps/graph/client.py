@@ -1,0 +1,443 @@
+"""Client-side graph traversals: BFS and PageRank, three ways.
+
+One :class:`GraphClient` drives a whole run.  It owns a pool of
+:class:`~repro.core.api.SmartHandle` objects (one per client coroutine)
+and runs each algorithm level-/round-synchronously: every phase fans the
+work out over the pool as spawned worker processes and joins them at a
+barrier, so all three execution modes compute identical results on a
+fixed seed:
+
+* ``onesided`` — READ adjacency, claim/accumulate with remote CAS.
+  Every CAS that loses (an already-claimed hub, a contended
+  accumulator) is a round trip that made no progress: the RACE-style
+  wasted IOPS ledger (``GraphStats.wasted_cas``).
+* ``rpc``      — READ adjacency one-sided, but claims/accumulates are
+  fine-grained active messages (one per edge).
+* ``offload``  — coarse active messages expand whole per-blade frontier
+  chunks next to the data and return only cross-blade escape edges.
+
+Fault tolerance: every remote primitive goes through a reliable wrapper
+that, on a fault completion (remote abort / flush), reconnects to the
+blade and retries.  The BFS claim primitives are idempotent test-and-set
+operations, so a replayed message is exactly-once-visible; PageRank's
+accumulates are not, and fault schedules therefore target BFS runs.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.apps.graph import handlers  # registers the AM handlers
+from repro.apps.graph.server import (
+    GraphMeta,
+    PR_BASE,
+    PR_DAMP_DEN,
+    PR_DAMP_NUM,
+    UNVISITED,
+)
+from repro.memory.address import make_addr
+from repro.rnic.qp import WorkRequest
+
+_U64 = struct.Struct("<Q")
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+MODES = ("onesided", "rpc", "offload")
+
+del handlers  # imported for its registration side effect only
+
+
+@dataclass
+class GraphStats:
+    """Client-side ledger of one run (device counters tell the rest)."""
+
+    expanded: int = 0
+    """Frontier vertices (BFS) / source vertices (PageRank) processed."""
+    edges_scanned: int = 0
+    wasted_cas: int = 0
+    """CAS completions that made no progress (lost claims + retries)."""
+    cas_retries: int = 0
+    """Retries of the PageRank CAS-accumulate loop specifically."""
+    am_messages: int = 0
+    """Active messages that completed OK."""
+    by_depth: Dict[int, int] = field(default_factory=dict)
+    """BFS: vertices claimed per depth."""
+
+
+class GraphClient:
+    """Drives one graph algorithm over a handle pool in one mode."""
+
+    def __init__(
+        self,
+        meta: GraphMeta,
+        handles: List,
+        mode: str = "onesided",
+        chunk: int = 32,
+        stats: GraphStats = None,
+    ):
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        if not handles:
+            raise ValueError("need at least one SmartHandle")
+        if chunk < 1:
+            raise ValueError("chunk must be positive")
+        self.meta = meta
+        self.handles = list(handles)
+        self.mode = mode
+        self.chunk = chunk
+        self.stats = stats if stats is not None else GraphStats()
+        self.sim = handles[0].sim
+
+    # -- reliable remote primitives (reconnect-and-retry on faults) ---------
+
+    def _complete_reliable(self, handle, node_id, make_wr):
+        """Issue ``make_wr(handle)`` until it completes OK; returns the WR."""
+        while True:
+            wr = make_wr(handle)
+            yield from handle.post_send()
+            yield from handle.sync()
+            if wr.status == WorkRequest.STATUS_OK:
+                return wr
+            handle.note_fault_abort()
+            ok = yield from handle.reconnect(node_id)
+            if not ok:
+                raise RuntimeError(f"blade {node_id} did not come back")
+
+    def _read_reliable(self, handle, node_id, addr, size):
+        wr = yield from self._complete_reliable(
+            handle, node_id, lambda h: h.read(addr, size)
+        )
+        return wr.result
+
+    def _write_reliable(self, handle, node_id, addr, payload):
+        yield from self._complete_reliable(
+            handle, node_id, lambda h: h.write(addr, payload)
+        )
+
+    def _cas_reliable(self, handle, node_id, addr, compare, swap):
+        wr = yield from self._complete_reliable(
+            handle, node_id, lambda h: h.cas(addr, compare, swap)
+        )
+        return wr.result
+
+    def _am_reliable(self, handle, node_id, addr, name, args, resp_size=8):
+        while True:
+            wr = yield from handle.am_sync(addr, name, args, resp_size=resp_size)
+            if wr.status == WorkRequest.STATUS_OK:
+                self.stats.am_messages += 1
+                return wr.result
+            handle.note_fault_abort()
+            ok = yield from handle.reconnect(node_id)
+            if not ok:
+                raise RuntimeError(f"blade {node_id} did not come back")
+
+    def _read_index(self, handle, vertex):
+        """(degree, absolute edge-list offset) of one vertex."""
+        meta = self.meta
+        data = yield from self._read_reliable(
+            handle, meta.node_id(vertex), meta.index_addr(vertex), 16
+        )
+        return _U64.unpack_from(data, 0)[0], _U64.unpack_from(data, 8)[0]
+
+    def _read_neighbors(self, handle, vertex, degree, offset):
+        meta = self.meta
+        node_id = meta.node_id(vertex)
+        data = yield from self._read_reliable(
+            handle, node_id, make_addr(node_id, offset), 8 * degree
+        )
+        self.stats.edges_scanned += degree
+        return [_U64.unpack_from(data, 8 * j)[0] for j in range(degree)]
+
+    # -- barrier fan-out ------------------------------------------------------
+
+    def _join(self, procs):
+        for proc in procs:
+            if not proc.triggered:
+                yield proc
+            if proc.error is not None:
+                raise proc.error
+
+    def _fanout(self, worker, items, *extra):
+        """Run ``worker(handle, slice, *extra, out)`` over the pool; the
+        merged, sorted outputs come back after the barrier."""
+        outs = [[] for _ in self.handles]
+        procs = []
+        for w, handle in enumerate(self.handles):
+            part = items[w :: len(self.handles)]
+            if part:
+                procs.append(
+                    self.sim.spawn(worker(handle, part, *extra, outs[w]))
+                )
+        yield from self._join(procs)
+        merged = [v for out in outs for v in out]
+        merged.sort()
+        return merged
+
+    # -- claims (the mode-specific visit primitive) ---------------------------
+
+    def _claim_cas(self, handle, vertex, depth):
+        meta = self.meta
+        old = yield from self._cas_reliable(
+            handle, meta.node_id(vertex), meta.level_addr(vertex),
+            UNVISITED, depth,
+        )
+        if old == UNVISITED:
+            return True
+        self.stats.wasted_cas += 1
+        return False
+
+    def _claim_rpc(self, handle, vertex, depth):
+        meta = self.meta
+        o = meta.owner(vertex)
+        got = yield from self._am_reliable(
+            handle, meta.blade_ids[o], meta.level_addr(vertex),
+            "graph/visit", (meta.level_bases[o], meta.local(vertex), depth),
+        )
+        return got == 1
+
+    # -- BFS ------------------------------------------------------------------
+
+    def bfs(self, source: int = 0):
+        """Level-synchronous BFS from ``source``; returns the finish time.
+
+        Levels are deterministic whatever the claim interleaving: every
+        vertex is claimed in the round of its minimal depth, so all
+        three modes land bit-identical ``level`` arrays."""
+        meta = self.meta
+        if not 0 <= source < meta.vertex_count:
+            raise ValueError(f"source {source} out of range")
+        claim = self._claim_cas if self.mode == "onesided" else self._claim_rpc
+        claimed = yield from claim(self.handles[0], source, 0)
+        frontier = [source] if claimed else []
+        self.stats.by_depth[0] = len(frontier)
+        depth = 1
+        while frontier:
+            if self.mode == "offload":
+                jobs = self._chunk_frontier(frontier)
+                frontier = yield from self._fanout(
+                    self._bfs_offload_worker, jobs, depth
+                )
+            else:
+                frontier = yield from self._fanout(
+                    self._bfs_fine_worker, frontier, depth, claim
+                )
+            self.stats.by_depth[depth] = len(frontier)
+            depth += 1
+        return self.sim.now
+
+    def _bfs_fine_worker(self, handle, items, depth, claim, out):
+        for u in items:
+            yield from handle.begin_op()
+            degree, offset = yield from self._read_index(handle, u)
+            self.stats.expanded += 1
+            if degree:
+                neighbors = yield from self._read_neighbors(
+                    handle, u, degree, offset
+                )
+                for v in neighbors:
+                    won = yield from claim(handle, v, depth)
+                    if won:
+                        out.append(v)
+            handle.end_op()
+
+    def _chunk_frontier(self, frontier):
+        """Group a frontier by owner blade and slice into AM chunks."""
+        meta = self.meta
+        by_owner: Dict[int, List[int]] = {}
+        for v in frontier:
+            by_owner.setdefault(meta.owner(v), []).append(meta.local(v))
+        jobs = []
+        for ordinal in sorted(by_owner):
+            locals_ = by_owner[ordinal]
+            for i in range(0, len(locals_), self.chunk):
+                jobs.append((ordinal, tuple(locals_[i : i + self.chunk])))
+        return jobs
+
+    def _bfs_offload_worker(self, handle, jobs, depth, out):
+        meta = self.meta
+        for ordinal, chunk in jobs:
+            yield from handle.begin_op()
+            node_id = meta.blade_ids[ordinal]
+            args = (
+                meta.index_bases[ordinal], meta.level_bases[ordinal],
+                meta.memory_blades, ordinal, depth,
+            ) + chunk
+            claimed, escapes = yield from self._am_reliable(
+                handle, node_id, make_addr(node_id, meta.index_bases[ordinal]),
+                "graph/bfs_step", args, resp_size=16 + 16 * len(chunk),
+            )
+            self.stats.expanded += len(chunk)
+            out.extend(claimed)
+            groups: Dict[int, List[int]] = {}
+            for v in escapes:
+                groups.setdefault(meta.owner(v), []).append(meta.local(v))
+            for other in sorted(groups):
+                locals_ = groups[other]
+                target = meta.blade_ids[other]
+                got = yield from self._am_reliable(
+                    handle, target, make_addr(target, meta.level_bases[other]),
+                    "graph/visit_batch",
+                    (meta.level_bases[other], meta.memory_blades, other, depth)
+                    + tuple(locals_),
+                    resp_size=8 + 8 * len(locals_),
+                )
+                out.extend(got)
+            handle.end_op()
+
+    # -- PageRank -------------------------------------------------------------
+
+    def pagerank(self, rounds: int = 2):
+        """Fixed-point PageRank for ``rounds`` iterations; returns the
+        finish time.  Integer contributions commute, so the final ranks
+        are bit-identical across modes and claim interleavings."""
+        if rounds < 1:
+            raise ValueError("rounds must be positive")
+        meta = self.meta
+        blades = list(range(meta.memory_blades))
+        for _ in range(rounds):
+            if self.mode == "offload":
+                jobs = []
+                for ordinal in blades:
+                    count = meta.local_counts[ordinal]
+                    for i in range(0, count, self.chunk):
+                        jobs.append(
+                            (ordinal,
+                             tuple(range(i, min(i + self.chunk, count))))
+                        )
+                yield from self._fanout(self._rank_offload_worker, jobs)
+            else:
+                vertices = list(range(meta.vertex_count))
+                worker = (
+                    self._rank_onesided_worker
+                    if self.mode == "onesided"
+                    else self._rank_rpc_worker
+                )
+                yield from self._fanout(worker, vertices)
+            yield from self._fanout(self._commit_worker, blades)
+        return self.sim.now
+
+    def _contribution(self, handle, u):
+        """(degree, neighbors offset, this round's per-edge share of u)."""
+        meta = self.meta
+        degree, offset = yield from self._read_index(handle, u)
+        if degree == 0:
+            return 0, offset, 0
+        rank = yield from self._read_reliable(
+            handle, meta.node_id(u), meta.rank_addr(u), 8
+        )
+        rank = _U64.unpack(rank)[0]
+        return degree, offset, (PR_DAMP_NUM * rank) // (PR_DAMP_DEN * degree)
+
+    def _rank_onesided_worker(self, handle, items, out):
+        meta = self.meta
+        for u in items:
+            yield from handle.begin_op()
+            self.stats.expanded += 1
+            degree, offset, share = yield from self._contribution(handle, u)
+            if share:
+                neighbors = yield from self._read_neighbors(
+                    handle, u, degree, offset
+                )
+                for v in neighbors:
+                    yield from self._accumulate_cas(handle, v, share)
+            handle.end_op()
+
+    def _accumulate_cas(self, handle, vertex, delta):
+        """READ + CAS retry loop: the contended accumulate that burns
+        wasted IOPS on hub vertices at high skew."""
+        meta = self.meta
+        addr = meta.next_addr(vertex)
+        node_id = meta.node_id(vertex)
+        old = yield from self._read_reliable(handle, node_id, addr, 8)
+        old = _U64.unpack(old)[0]
+        while True:
+            got = yield from self._cas_reliable(
+                handle, node_id, addr, old, (old + delta) & _MASK
+            )
+            if got == old:
+                return
+            self.stats.wasted_cas += 1
+            self.stats.cas_retries += 1
+            old = got
+            yield from handle.backoff_delay()
+
+    def _rank_rpc_worker(self, handle, items, out):
+        meta = self.meta
+        for u in items:
+            yield from handle.begin_op()
+            self.stats.expanded += 1
+            degree, offset, share = yield from self._contribution(handle, u)
+            if share:
+                neighbors = yield from self._read_neighbors(
+                    handle, u, degree, offset
+                )
+                for v in neighbors:
+                    o = meta.owner(v)
+                    yield from self._am_reliable(
+                        handle, meta.blade_ids[o], meta.next_addr(v),
+                        "graph/add", (meta.next_bases[o], meta.local(v), share),
+                    )
+            handle.end_op()
+
+    def _rank_offload_worker(self, handle, jobs, out):
+        meta = self.meta
+        for ordinal, chunk in jobs:
+            yield from handle.begin_op()
+            node_id = meta.blade_ids[ordinal]
+            args = (
+                meta.index_bases[ordinal], meta.rank_bases[ordinal],
+                meta.next_bases[ordinal], meta.memory_blades, ordinal,
+            ) + chunk
+            flat = yield from self._am_reliable(
+                handle, node_id, make_addr(node_id, meta.index_bases[ordinal]),
+                "graph/rank_step", args, resp_size=16 + 16 * len(chunk),
+            )
+            self.stats.expanded += len(chunk)
+            groups: Dict[int, List[int]] = {}
+            for i in range(0, len(flat), 2):
+                v, delta = flat[i], flat[i + 1]
+                groups.setdefault(meta.owner(v), []).extend(
+                    (meta.local(v), delta)
+                )
+            for other in sorted(groups):
+                pairs = groups[other]
+                target = meta.blade_ids[other]
+                yield from self._am_reliable(
+                    handle, target, make_addr(target, meta.next_bases[other]),
+                    "graph/add_batch",
+                    (meta.next_bases[other],) + tuple(pairs),
+                    resp_size=8,
+                )
+            handle.end_op()
+
+    def _commit_worker(self, handle, ordinals, out):
+        """End-of-round swap on each blade: rank := next, next := base."""
+        meta = self.meta
+        for ordinal in ordinals:
+            yield from handle.begin_op()
+            node_id = meta.blade_ids[ordinal]
+            count = meta.local_counts[ordinal]
+            if self.mode == "onesided":
+                data = yield from self._read_reliable(
+                    handle, node_id,
+                    make_addr(node_id, meta.next_bases[ordinal]), 8 * count,
+                )
+                yield from self._write_reliable(
+                    handle, node_id,
+                    make_addr(node_id, meta.rank_bases[ordinal]), data,
+                )
+                yield from self._write_reliable(
+                    handle, node_id,
+                    make_addr(node_id, meta.next_bases[ordinal]),
+                    _U64.pack(PR_BASE) * count,
+                )
+            else:
+                yield from self._am_reliable(
+                    handle, node_id,
+                    make_addr(node_id, meta.rank_bases[ordinal]),
+                    "graph/commit",
+                    (meta.rank_bases[ordinal], meta.next_bases[ordinal],
+                     count, PR_BASE),
+                )
+            handle.end_op()

@@ -1,0 +1,267 @@
+"""Active-message handlers for the graph workload.
+
+Registered process-globally at import time (the offload runtime looks
+handlers up by name).  Every handler is a deterministic pure function of
+``(storage, args)``; argument layouts are flat tuples of ints so the AM
+wire-size accounting (8 B per argument) tracks the real payload.
+
+Idempotence: the BFS handlers are test-and-set claims, so a client
+retry after a crash-abort (or a duplicated message) re-observes the
+already-claimed word and changes nothing — the exactly-once-visible
+contract the chaos tests check.  The PageRank accumulate handlers are
+*not* idempotent; fault schedules therefore exercise the BFS path.
+
+Cost callables charge per edge scanned / per word touched on a
+full-speed host core; the runtime multiplies by the configured
+wimpy-core slowdown.
+"""
+
+from __future__ import annotations
+
+from repro.apps.graph.server import PR_DAMP_DEN, PR_DAMP_NUM, UNVISITED
+from repro.rnic.offload import register_handler
+
+#: host-core cost of one claim / accumulate word operation
+HOST_NS_PER_WORD = 5.0
+#: host-core cost of scanning one edge inside a chunk handler
+HOST_NS_PER_EDGE = 2.0
+#: host-core fixed cost per frontier vertex expanded in a chunk handler
+HOST_NS_PER_VERTEX = 10.0
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _claim(storage, level_base: int, local: int, depth: int) -> bool:
+    """Test-and-set one level word; True iff this call claimed it."""
+    offset = level_base + 8 * local
+    if storage.read_u64(offset) != UNVISITED:
+        return False
+    storage.write_u64(offset, depth)
+    return True
+
+
+# -- fine-grained RPC handlers (one message per edge) -------------------------
+
+
+def _visit(storage, args):
+    """args = (level_base, local, depth) -> 1 if claimed else 0."""
+    level_base, local, depth = args
+    return 1 if _claim(storage, level_base, local, depth) else 0
+
+
+def _visit_regions(storage, args):
+    return ((args[0] + 8 * args[1], 8, "A"),)
+
+
+def _add(storage, args):
+    """args = (next_base, local, delta) -> the accumulated value."""
+    next_base, local, delta = args
+    offset = next_base + 8 * local
+    value = (storage.read_u64(offset) + delta) & _MASK
+    storage.write_u64(offset, value)
+    return value
+
+
+def _add_regions(storage, args):
+    return ((args[0] + 8 * args[1], 8, "A"),)
+
+
+# -- batched claim / accumulate (the offload escape path) ---------------------
+
+
+def _visit_batch(storage, args):
+    """args = (level_base, nblades, ordinal, depth, *locals) -> tuple of
+    claimed *global* vertex ids."""
+    level_base, nblades, ordinal, depth = args[:4]
+    claimed = []
+    for local in args[4:]:
+        if _claim(storage, level_base, local, depth):
+            claimed.append(local * nblades + ordinal)
+    return tuple(claimed)
+
+
+def _visit_batch_regions(storage, args):
+    level_base = args[0]
+    return tuple((level_base + 8 * local, 8, "A") for local in args[4:])
+
+
+def _visit_batch_cost(storage, args, config):
+    return HOST_NS_PER_WORD * len(args[4:])
+
+
+def _add_batch(storage, args):
+    """args = (next_base, local0, delta0, local1, delta1, ...) -> count."""
+    next_base = args[0]
+    pairs = args[1:]
+    for i in range(0, len(pairs), 2):
+        offset = next_base + 8 * pairs[i]
+        storage.write_u64(offset, (storage.read_u64(offset) + pairs[i + 1]) & _MASK)
+    return len(pairs) // 2
+
+
+def _add_batch_regions(storage, args):
+    next_base = args[0]
+    pairs = args[1:]
+    return tuple(
+        (next_base + 8 * pairs[i], 8, "A") for i in range(0, len(pairs), 2)
+    )
+
+
+def _add_batch_cost(storage, args, config):
+    return HOST_NS_PER_WORD * (len(args[1:]) // 2)
+
+
+# -- near-memory chunk handlers (whole frontier slices at the blade) ----------
+
+
+def _scan_chunk(storage, index_base, locals_):
+    """Yield (local, degree, neighbors) for each frontier slot."""
+    for local in locals_:
+        degree = storage.read_u64(index_base + 16 * local)
+        offset = storage.read_u64(index_base + 16 * local + 8)
+        neighbors = [
+            storage.read_u64(offset + 8 * j) for j in range(degree)
+        ]
+        yield local, degree, neighbors
+
+
+def _chunk_degrees(storage, index_base, locals_):
+    return sum(storage.read_u64(index_base + 16 * local) for local in locals_)
+
+
+def _bfs_step(storage, args):
+    """Expand one frontier chunk next to the data.
+
+    args = (index_base, level_base, nblades, ordinal, depth, *locals).
+    Claims same-blade neighbors locally; returns
+    ``(claimed_globals, escape_globals)`` where escapes are the
+    cross-blade neighbors the client must forward (deduplicated and
+    sorted, so the result is order-independent).
+    """
+    index_base, level_base, nblades, ordinal, depth = args[:5]
+    claimed = []
+    escapes = set()
+    for _local, _degree, neighbors in _scan_chunk(storage, index_base, args[5:]):
+        for v in neighbors:
+            if v % nblades == ordinal:
+                if _claim(storage, level_base, v // nblades, depth):
+                    claimed.append(v)
+            else:
+                escapes.add(v)
+    return tuple(sorted(claimed)), tuple(sorted(escapes))
+
+
+def _bfs_step_cost(storage, args, config):
+    locals_ = args[5:]
+    return HOST_NS_PER_VERTEX * len(locals_) + HOST_NS_PER_EDGE * _chunk_degrees(
+        storage, args[0], locals_
+    )
+
+
+def _bfs_step_regions(storage, args):
+    index_base, level_base, nblades, ordinal, _depth = args[:5]
+    touched = []
+    for local in args[5:]:
+        touched.append((index_base + 16 * local, 16, "R"))
+        degree = storage.read_u64(index_base + 16 * local)
+        offset = storage.read_u64(index_base + 16 * local + 8)
+        if degree:
+            touched.append((offset, 8 * degree, "R"))
+        for j in range(degree):
+            v = storage.read_u64(offset + 8 * j)
+            if v % nblades == ordinal:
+                touched.append((level_base + 8 * (v // nblades), 8, "A"))
+    return tuple(touched)
+
+
+def _rank_step(storage, args):
+    """Distribute one chunk's rank mass next to the data.
+
+    args = (index_base, rank_base, next_base, nblades, ordinal, *locals).
+    Same-blade contributions are accumulated locally; cross-blade ones
+    come back as a flat ``(v0, delta0, v1, delta1, ...)`` escape tuple
+    (merged per target, sorted — order-independent).
+    """
+    index_base, rank_base, next_base, nblades, ordinal = args[:5]
+    escapes = {}
+    for local, degree, neighbors in _scan_chunk(storage, index_base, args[5:]):
+        if degree == 0:
+            continue
+        rank = storage.read_u64(rank_base + 8 * local)
+        contribution = (PR_DAMP_NUM * rank) // (PR_DAMP_DEN * degree)
+        if contribution == 0:
+            continue
+        for v in neighbors:
+            if v % nblades == ordinal:
+                offset = next_base + 8 * (v // nblades)
+                storage.write_u64(
+                    offset, (storage.read_u64(offset) + contribution) & _MASK
+                )
+            else:
+                escapes[v] = escapes.get(v, 0) + contribution
+    flat = []
+    for v in sorted(escapes):
+        flat.append(v)
+        flat.append(escapes[v])
+    return tuple(flat)
+
+
+def _rank_step_cost(storage, args, config):
+    locals_ = args[5:]
+    return HOST_NS_PER_VERTEX * len(locals_) + HOST_NS_PER_EDGE * _chunk_degrees(
+        storage, args[0], locals_
+    )
+
+
+def _rank_step_regions(storage, args):
+    index_base, rank_base, next_base, nblades, ordinal = args[:5]
+    touched = []
+    for local in args[5:]:
+        touched.append((index_base + 16 * local, 16, "R"))
+        touched.append((rank_base + 8 * local, 8, "R"))
+        degree = storage.read_u64(index_base + 16 * local)
+        offset = storage.read_u64(index_base + 16 * local + 8)
+        if degree:
+            touched.append((offset, 8 * degree, "R"))
+        for j in range(degree):
+            v = storage.read_u64(offset + 8 * j)
+            if v % nblades == ordinal:
+                touched.append((next_base + 8 * (v // nblades), 8, "A"))
+    return tuple(touched)
+
+
+def _commit(storage, args):
+    """End-of-round swap: rank := next, next := base.
+
+    args = (rank_base, next_base, count, base_value) -> count."""
+    rank_base, next_base, count, base_value = args
+    for i in range(count):
+        storage.write_u64(rank_base + 8 * i, storage.read_u64(next_base + 8 * i))
+        storage.write_u64(next_base + 8 * i, base_value)
+    return count
+
+
+def _commit_cost(storage, args, config):
+    return HOST_NS_PER_WORD * args[2]
+
+
+def _commit_regions(storage, args):
+    rank_base, next_base, count, _base = args
+    span = max(8, 8 * count)
+    return ((rank_base, span, "W"), (next_base, span, "W"))
+
+
+register_handler("graph/visit", _visit, cost=HOST_NS_PER_WORD,
+                 regions=_visit_regions)
+register_handler("graph/add", _add, cost=HOST_NS_PER_WORD,
+                 regions=_add_regions)
+register_handler("graph/visit_batch", _visit_batch, cost=_visit_batch_cost,
+                 regions=_visit_batch_regions)
+register_handler("graph/add_batch", _add_batch, cost=_add_batch_cost,
+                 regions=_add_batch_regions)
+register_handler("graph/bfs_step", _bfs_step, cost=_bfs_step_cost,
+                 regions=_bfs_step_regions)
+register_handler("graph/rank_step", _rank_step, cost=_rank_step_cost,
+                 regions=_rank_step_regions)
+register_handler("graph/commit", _commit, cost=_commit_cost,
+                 regions=_commit_regions)

@@ -1,0 +1,263 @@
+"""Server-side layout of the blade-resident graph.
+
+Deployment-time work only: region carving and bulk loading, before any
+client issues a verb.  The layout is a pure function of the vertex id
+(owner = ``v % blades``, local slot = ``v // blades``), so a vertex's
+blade-resident bytes never depend on how many blades share the graph —
+the partition-independence contract the property tests pin down.
+
+Per blade, five regions (all names share one prefix so several graphs
+can coexist):
+
+* ``index``  — 16 B per local vertex: degree (u64) + the absolute
+  blade-local byte offset of its edge list (u64);
+* ``edges``  — the concatenated neighbor ids as u64s;
+* ``level``  — 8 B per local vertex: BFS level, ``UNVISITED`` initially;
+* ``rank``   — 8 B per local vertex: fixed-point PageRank value;
+* ``next``   — 8 B per local vertex: next-iteration rank accumulator.
+
+PageRank is computed in fixed-point integers (``PR_SCALE``) so the sum
+of edge contributions is order-independent — the property that makes
+ranks bit-equal across the three execution modes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.cluster import Node
+from repro.memory.address import make_addr
+from repro.workloads.graph import GraphSpec, generate
+
+_U64 = struct.Struct("<Q")
+
+#: BFS level of a vertex no traversal has reached.
+UNVISITED = 0xFFFFFFFFFFFFFFFF
+
+#: Fixed-point scale: a rank of 1.0 is stored as PR_SCALE.
+PR_SCALE = 1_000_000
+#: Damping factor 0.85 as the integer ratio PR_DAMP_NUM / PR_DAMP_DEN.
+PR_DAMP_NUM = 85
+PR_DAMP_DEN = 100
+#: The (1 - d) teleport term every vertex restarts each round from.
+PR_BASE = (PR_SCALE * (PR_DAMP_DEN - PR_DAMP_NUM)) // PR_DAMP_DEN
+
+
+@dataclass
+class GraphMeta:
+    """Bootstrap information clients receive out of band."""
+
+    vertex_count: int
+    memory_blades: int
+    #: owner ordinal -> node id
+    blade_ids: List[int]
+    #: owner ordinal -> region base offsets on that blade
+    index_bases: List[int]
+    level_bases: List[int]
+    rank_bases: List[int]
+    next_bases: List[int]
+    #: owner ordinal -> local vertices resident there
+    local_counts: List[int]
+
+    def owner(self, vertex: int) -> int:
+        return vertex % self.memory_blades
+
+    def local(self, vertex: int) -> int:
+        return vertex // self.memory_blades
+
+    def node_id(self, vertex: int) -> int:
+        return self.blade_ids[self.owner(vertex)]
+
+    def index_addr(self, vertex: int) -> int:
+        o = self.owner(vertex)
+        return make_addr(self.blade_ids[o], self.index_bases[o] + 16 * self.local(vertex))
+
+    def level_addr(self, vertex: int) -> int:
+        o = self.owner(vertex)
+        return make_addr(self.blade_ids[o], self.level_bases[o] + 8 * self.local(vertex))
+
+    def rank_addr(self, vertex: int) -> int:
+        o = self.owner(vertex)
+        return make_addr(self.blade_ids[o], self.rank_bases[o] + 8 * self.local(vertex))
+
+    def next_addr(self, vertex: int) -> int:
+        o = self.owner(vertex)
+        return make_addr(self.blade_ids[o], self.next_bases[o] + 8 * self.local(vertex))
+
+
+class GraphServer:
+    """Carves and bulk-loads a partitioned graph across memory blades."""
+
+    def __init__(
+        self,
+        memory_nodes: Sequence[Node],
+        spec: GraphSpec = None,
+        adjacency: List[List[int]] = None,
+        region_prefix: str = "graph_",
+        persistent: bool = True,
+    ):
+        """``persistent=True`` (default) places every region in NVM so a
+        blade crash loses no graph state — fault schedules then exercise
+        the message-layer crash semantics (aborted active messages,
+        client retries) rather than data loss."""
+        if adjacency is None:
+            if spec is None:
+                raise ValueError("need a GraphSpec or an explicit adjacency")
+            adjacency = generate(spec)
+        self.memory_nodes = list(memory_nodes)
+        self.adjacency = adjacency
+        self.vertex_count = len(adjacency)
+        self.region_prefix = region_prefix
+        blades = len(self.memory_nodes)
+        if blades < 1:
+            raise ValueError("need at least one memory blade")
+
+        self._index_regions = []
+        self._edges_regions = []
+        self._level_regions = []
+        self._rank_regions = []
+        self._next_regions = []
+        self.local_counts: List[int] = []
+        for ordinal, node in enumerate(self.memory_nodes):
+            locals_here = list(range(ordinal, self.vertex_count, blades))
+            count = len(locals_here)
+            self.local_counts.append(count)
+            edge_words = sum(len(adjacency[v]) for v in locals_here)
+            storage = node.storage
+            index = storage.alloc_region(
+                f"{region_prefix}index", max(16, 16 * count),
+                persistent=persistent,
+            )
+            edges = storage.alloc_region(
+                f"{region_prefix}edges", max(8, 8 * edge_words),
+                persistent=persistent,
+            )
+            level = storage.alloc_region(
+                f"{region_prefix}level", max(8, 8 * count),
+                persistent=persistent,
+            )
+            rank = storage.alloc_region(
+                f"{region_prefix}rank", max(8, 8 * count), persistent=persistent
+            )
+            nxt = storage.alloc_region(
+                f"{region_prefix}next", max(8, 8 * count), persistent=persistent
+            )
+            self._index_regions.append(index)
+            self._edges_regions.append(edges)
+            self._level_regions.append(level)
+            self._rank_regions.append(rank)
+            self._next_regions.append(nxt)
+
+            # Bulk-load index + edge list in two writes per blade.  The
+            # index stores each vertex's *absolute* edge-list offset so
+            # handlers and clients never need the edges base.
+            index_buf = bytearray()
+            edges_buf = bytearray()
+            cursor = edges.base
+            for v in locals_here:
+                neighbors = adjacency[v]
+                index_buf += _U64.pack(len(neighbors))
+                index_buf += _U64.pack(cursor)
+                for dst in neighbors:
+                    edges_buf += _U64.pack(dst)
+                cursor += 8 * len(neighbors)
+            if index_buf:
+                storage.bulk_write(index.base, bytes(index_buf))
+            if edges_buf:
+                storage.bulk_write(edges.base, bytes(edges_buf))
+
+        self.reset_bfs()
+        self.reset_pagerank()
+
+    # -- state resets (deterministic, deployment-side) ----------------------
+
+    def reset_bfs(self) -> None:
+        """Every level back to UNVISITED."""
+        for region, node, count in zip(
+            self._level_regions, self.memory_nodes, self.local_counts
+        ):
+            node.storage.bulk_write(
+                region.base, _U64.pack(UNVISITED) * max(1, count)
+            )
+
+    def reset_pagerank(self) -> None:
+        """rank := 1.0 (fixed point), next := the teleport base."""
+        for rank, nxt, node, count in zip(
+            self._rank_regions, self._next_regions,
+            self.memory_nodes, self.local_counts,
+        ):
+            words = max(1, count)
+            node.storage.bulk_write(rank.base, _U64.pack(PR_SCALE) * words)
+            node.storage.bulk_write(nxt.base, _U64.pack(PR_BASE) * words)
+
+    # -- bootstrap -----------------------------------------------------------
+
+    def meta(self) -> GraphMeta:
+        return GraphMeta(
+            vertex_count=self.vertex_count,
+            memory_blades=len(self.memory_nodes),
+            blade_ids=[n.node_id for n in self.memory_nodes],
+            index_bases=[r.base for r in self._index_regions],
+            level_bases=[r.base for r in self._level_regions],
+            rank_bases=[r.base for r in self._rank_regions],
+            next_bases=[r.base for r in self._next_regions],
+            local_counts=list(self.local_counts),
+        )
+
+    def declare_sanitizer_regions(self, sanitizer) -> None:
+        """Teach RDMASan this workload's protocol: the level and next
+        words are single-word atomics validated by compare (claims and
+        CAS-accumulates), so concurrent readers are the optimistic
+        pattern, not races."""
+        for node in self.memory_nodes:
+            sanitizer.set_region_policy(
+                node.node_id, f"{self.region_prefix}level", "optimistic-read"
+            )
+            sanitizer.set_region_policy(
+                node.node_id, f"{self.region_prefix}next", "optimistic-read"
+            )
+
+    # -- teardown ------------------------------------------------------------
+
+    def free_regions(self) -> int:
+        """Release every region this graph carved; returns bytes freed."""
+        freed = 0
+        for node in self.memory_nodes:
+            for suffix in ("index", "edges", "level", "rank", "next"):
+                name = f"{self.region_prefix}{suffix}"
+                freed += node.storage.region(name).size
+                node.storage.free_region(name)
+        return freed
+
+    # -- result collection (post-run, non-simulated) -------------------------
+
+    def read_levels(self) -> List[int]:
+        """Final BFS levels, vertex order (pull-based; never simulated)."""
+        blades = len(self.memory_nodes)
+        levels = [UNVISITED] * self.vertex_count
+        for ordinal, (region, node) in enumerate(
+            zip(self._level_regions, self.memory_nodes)
+        ):
+            for li in range(self.local_counts[ordinal]):
+                levels[ordinal + li * blades] = node.storage.read_u64(
+                    region.base + 8 * li
+                )
+        return levels
+
+    def read_ranks(self) -> List[int]:
+        """Final fixed-point ranks, vertex order."""
+        blades = len(self.memory_nodes)
+        ranks = [0] * self.vertex_count
+        for ordinal, (region, node) in enumerate(
+            zip(self._rank_regions, self.memory_nodes)
+        ):
+            for li in range(self.local_counts[ordinal]):
+                ranks[ordinal + li * blades] = node.storage.read_u64(
+                    region.base + 8 * li
+                )
+        return ranks
+
+    def visited_count(self) -> int:
+        return sum(1 for level in self.read_levels() if level != UNVISITED)

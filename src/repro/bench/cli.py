@@ -41,6 +41,12 @@ outstanding-WR count, with and without doorbell request merging::
 
     python -m repro.bench.cli odp --ratios 1.0,0.5 --depths 4,32
     python -m repro.bench.cli odp --json odp.json
+
+``offload`` sweeps the near-memory graph workload (BFS / PageRank)
+across R-MAT skew, AM fan-out and the three execution modes::
+
+    python -m repro.bench.cli offload --skews 0.0,0.6 --chunks 8,32
+    python -m repro.bench.cli offload --algo pagerank --sanitize --json out.json
 """
 
 from __future__ import annotations
@@ -389,6 +395,81 @@ def _run_odp(args) -> int:
     return 0
 
 
+def build_offload_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench offload",
+        description="Near-memory offload sweep: graph skew x AM fan-out x "
+                    "execution mode (one-sided CAS vs RPC vs offload)",
+    )
+    parser.add_argument("--skews", default=None, metavar="S1,S2,...",
+                        help="R-MAT skews to sweep (default: quick grid "
+                             "0.0,0.6; REPRO_FULL=1 widens it)")
+    parser.add_argument("--chunks", default=None, metavar="C1,C2,...",
+                        help="offload fan-outs to sweep (frontier slots per "
+                             "active message; default: quick grid 8,32)")
+    parser.add_argument("--modes", default="onesided,rpc,offload",
+                        metavar="M1,M2,...",
+                        help="execution modes (default: all three)")
+    parser.add_argument("--algo", choices=("bfs", "pagerank"), default="bfs")
+    parser.add_argument("--vertices", type=int, default=192)
+    parser.add_argument("--degree", type=int, default=6)
+    parser.add_argument("--threads", type=int, default=2)
+    parser.add_argument("--coroutines", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run every point under RDMASan")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="process-pool workers (0 = all cores)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the result as JSON to PATH")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and write a pstats dump next "
+                             "to the result JSON")
+    return parser
+
+
+def run_offload_cmd(argv: List[str]) -> int:
+    args = build_offload_parser().parse_args(argv)
+    if args.profile:
+        return run_profiled(profile_path_for(args), lambda: _run_offload(args))
+    return _run_offload(args)
+
+
+def _run_offload(args) -> int:
+    from repro.apps.graph.client import MODES
+    from repro.bench.experiments import offload_sweep
+    from repro.bench.report import write_experiment_json
+
+    skews = None
+    if args.skews:
+        skews = tuple(float(s) for s in args.skews.split(",") if s.strip())
+        if any(not 0.0 <= s < 1.0 for s in skews):
+            print("--skews values must be in [0, 1)", file=sys.stderr)
+            return 2
+    chunks = None
+    if args.chunks:
+        chunks = tuple(int(c) for c in args.chunks.split(",") if c.strip())
+    modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+    if any(m not in MODES for m in modes):
+        print(f"--modes values must be among {MODES}", file=sys.stderr)
+        return 2
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    started = time.time()  # lint: disable=SIM001 (host wall clock)
+    result = offload_sweep(
+        skews=skews, chunks=chunks, modes=modes, algo=args.algo,
+        vertices=args.vertices, degree=args.degree, threads=args.threads,
+        coroutines=args.coroutines, seed=args.seed, sanitize=args.sanitize,
+        jobs=jobs,
+    )
+    wall_s = time.time() - started  # lint: disable=SIM001 (host wall clock)
+    print(result.format())
+    print(f"wall time={wall_s:.1f} s (jobs={jobs})")
+    if args.json:
+        write_experiment_json(result, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
 _WORKLOADS = {
     "write-heavy": "WRITE_HEAVY",
     "read-heavy": "READ_HEAVY",
@@ -572,6 +653,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_resharding_cmd(argv[1:])
     if argv and argv[0] == "odp":
         return run_odp_cmd(argv[1:])
+    if argv and argv[0] == "offload":
+        return run_offload_cmd(argv[1:])
     args = build_parser().parse_args(argv)
     if args.figure:
         if args.trace or args.metrics_out:

@@ -51,6 +51,7 @@ _REGISTRY: Dict[str, str] = {
     "run_btree": "repro.bench.runner",
     "run_open_loop": "repro.traffic.runner",
     "run_resharding": "repro.traffic.resharding",
+    "run_graph": "repro.bench.graph_runner",
 }
 
 

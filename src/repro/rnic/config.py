@@ -177,6 +177,24 @@ class RnicConfig:
     under ``pinned_ratio`` is a pure hash of (page, seed) so it is stable
     across runs and independent of access order."""
 
+    # -- near-memory offload (active messages) ---------------------------------
+    offload_slowdown: float = 3.0
+    """Compute slowdown of the blade-side handler core relative to a host
+    core: the wimpy ARM core (or SmartNIC datapath processor) executing an
+    active-message handler runs its compute this many times slower.  Only
+    AM_SEND work requests pay it; one-sided runs never touch the knob."""
+
+    offload_dispatch_ns: float = 400.0
+    """Fixed per-active-message dispatch latency at the responder:
+    request parse, handler-table lookup and argument marshalling before
+    the handler body starts."""
+
+    offload_queue_depth: int = 64
+    """Bound of the blade-side handler queue.  An active message arriving
+    with this many already admitted-but-unexecuted is bounced back with
+    ``STATUS_HANDLER_BUSY`` (an RNR-NAK-style backpressure completion the
+    client retries with backoff) instead of queueing unboundedly."""
+
     # -- doorbell batching / adaptive polling (RDMAbox) ------------------------
     merge_wrs: bool = False
     """RDMAbox-style request merging: consecutive READ/WRITE WRs in one
@@ -239,14 +257,18 @@ def apply_feature_overrides(
     pinned_ratio: "float | None" = None,
     merge_wrs: "bool | None" = None,
     adaptive_poll: "bool | None" = None,
+    offload_slowdown: "float | None" = None,
+    offload_dispatch_ns: "float | None" = None,
+    offload_queue_depth: "int | None" = None,
 ) -> "RnicConfig | None":
     """Fold the per-runner feature kwargs into ``config``.
 
     Every bench runner exposes ``pinned_ratio`` / ``merge_wrs`` /
-    ``adaptive_poll`` as plain keyword arguments so sweeps don't have to
-    construct configs; ``None`` means "leave the config's value alone".
-    Returns ``config`` unchanged (possibly ``None``) when nothing is
-    overridden, so default runs build the identical default config.
+    ``adaptive_poll`` (and the offload cost knobs) as plain keyword
+    arguments so sweeps don't have to construct configs; ``None`` means
+    "leave the config's value alone".  Returns ``config`` unchanged
+    (possibly ``None``) when nothing is overridden, so default runs build
+    the identical default config.
     """
     overrides = {}
     if pinned_ratio is not None:
@@ -255,6 +277,12 @@ def apply_feature_overrides(
         overrides["merge_wrs"] = merge_wrs
     if adaptive_poll is not None:
         overrides["adaptive_poll"] = adaptive_poll
+    if offload_slowdown is not None:
+        overrides["offload_slowdown"] = offload_slowdown
+    if offload_dispatch_ns is not None:
+        overrides["offload_dispatch_ns"] = offload_dispatch_ns
+    if offload_queue_depth is not None:
+        overrides["offload_queue_depth"] = offload_queue_depth
     if not overrides:
         return config
     return (config or RnicConfig()).with_overrides(**overrides)

@@ -181,6 +181,13 @@ class ResponderEngine:
             )
             return
 
+        if batch.wrs[0].opcode == qpmod.AM_SEND:
+            # Active messages pay the same reception pipeline, then hand
+            # off to the blade-side handler runtime (created on first AM;
+            # one-sided runs never allocate it).
+            self._handle_am(batch)
+            return
+
         per_wr_ns = config.responder_service_ns
         bandwidth_ns = batch.wire_bytes / config.network_bytes_per_ns
         nvm_penalty = 0.0
@@ -214,6 +221,26 @@ class ResponderEngine:
         device.counters.responder_busy_ns += finish - start
         sim.call_at(finish, self._execute_and_reply, batch)
 
+    def _handle_am(self, batch: WorkBatch) -> None:
+        """Receive an active-message batch and admit it to the handler
+        runtime (see :mod:`repro.rnic.offload`)."""
+        device = self.device
+        sim = device.sim
+        config = device.config
+        origin_tracer = batch.qp.device.tracer
+        if origin_tracer is not None:
+            origin_tracer.record(batch.batch_id, "remote_start", sim.now)
+        per_wr_ns = config.responder_service_ns
+        bandwidth_ns = batch.wire_bytes / config.network_bytes_per_ns
+        start = max(sim.now, self.busy_until)
+        ready = start + max(batch.wire_wrs * per_wr_ns, bandwidth_ns)
+        self.busy_until = ready
+        device.counters.responder_busy_ns += ready - start
+        runtime = device.offload
+        if runtime is None:
+            runtime = device.ensure_offload()
+        runtime.admit(batch, ready)
+
     def _execute_and_reply(self, batch: WorkBatch) -> None:
         device = self.device
         if not device.online:
@@ -239,6 +266,13 @@ class ResponderEngine:
         origin = batch.qp.device
         if origin.tracer is not None:
             origin.tracer.record(batch.batch_id, "executed", device.sim.now)
+        self.send_response(batch)
+
+    def send_response(self, batch: WorkBatch) -> None:
+        """Send a handled batch's response back to its origin (also the
+        return path for active messages and handler-queue bounces)."""
+        device = self.device
+        origin = batch.qp.device
         sim = device.sim
         # The return direction carries the *response* payload (READ data /
         # atomic results, or just an ack for WRITEs) — not the

@@ -13,8 +13,11 @@ READ = "read"
 WRITE = "write"
 CAS = "cas"
 FAA = "faa"
+#: active message: run a registered handler at the responder blade
+#: (the near-memory offload path, see :mod:`repro.rnic.offload`)
+AM_SEND = "am_send"
 
-_OPCODES = frozenset({READ, WRITE, CAS, FAA})
+_OPCODES = frozenset({READ, WRITE, CAS, FAA, AM_SEND})
 
 #: Wire overhead per one-sided message (IB transport + RETH headers).
 MESSAGE_OVERHEAD_BYTES = 30
@@ -38,10 +41,16 @@ class WorkRequest:
         "wr_id",
         "result",
         "status",
+        "handler",
+        "am_args",
+        "resp_size",
     )
 
     STATUS_OK = "ok"
     STATUS_ACCESS_ERROR = "access-error"
+    #: active message bounced off a full blade-side handler queue
+    #: (RNR-NAK-like backpressure; retryable, does NOT error the QP)
+    STATUS_HANDLER_BUSY = "handler-busy"
     #: the remote blade died while the WR was in flight (IBV_WC_REM_OP_ERR)
     STATUS_REMOTE_ABORT = "remote-abort"
     #: RC transport exhausted its retransmissions (IBV_WC_RETRY_EXC_ERR)
@@ -65,6 +74,9 @@ class WorkRequest:
         swap: int = 0,
         delta: int = 0,
         wr_id: Any = None,
+        handler: Optional[str] = None,
+        am_args: tuple = (),
+        resp_size: int = 8,
     ):
         if opcode not in _OPCODES:
             raise ValueError(f"unknown opcode {opcode!r}")
@@ -74,6 +86,8 @@ class WorkRequest:
             size = len(payload)
         if opcode in (CAS, FAA) and size != 8:
             raise ValueError("atomics operate on 8 bytes")
+        if opcode == AM_SEND and handler is None:
+            raise ValueError("AM_SEND requires a handler name")
         if size <= 0:
             raise ValueError("size must be positive")
         self.opcode = opcode
@@ -84,6 +98,11 @@ class WorkRequest:
         self.swap = swap
         self.delta = delta
         self.wr_id = wr_id
+        self.handler = handler
+        self.am_args = am_args
+        #: declared response payload bytes (AM_SEND only; the handler's
+        #: return message, like a READ's size but for the back direction)
+        self.resp_size = resp_size
         self.result: Any = None
         self.status = WorkRequest.STATUS_OK
 
@@ -110,6 +129,26 @@ def cas_wr(remote_addr: int, compare: int, swap: int, wr_id: Any = None) -> Work
 
 def faa_wr(remote_addr: int, delta: int, wr_id: Any = None) -> WorkRequest:
     return WorkRequest(FAA, remote_addr, delta=delta, wr_id=wr_id)
+
+
+def am_wr(
+    remote_addr: int,
+    handler: str,
+    args: tuple = (),
+    size: Optional[int] = None,
+    resp_size: int = 8,
+    wr_id: Any = None,
+) -> WorkRequest:
+    """An active message: run ``handler`` with ``args`` at the blade that
+    owns ``remote_addr``.  The request payload defaults to one 8-byte
+    handler id plus 8 bytes per argument; ``resp_size`` declares the
+    handler's response payload."""
+    if size is None:
+        size = 8 + 8 * len(args)
+    return WorkRequest(
+        AM_SEND, remote_addr, size=size, wr_id=wr_id,
+        handler=handler, am_args=tuple(args), resp_size=resp_size,
+    )
 
 
 class WorkBatch:
@@ -151,19 +190,28 @@ class WorkBatch:
         wire = 0
         write_payload = 0
         response = 0
+        am_count = 0
         for wr in wrs:
             wire += wr.size + MESSAGE_OVERHEAD_BYTES
             if wr.opcode == WRITE:
                 write_payload += wr.size
                 # a WRITE's return direction is just the transport ack
                 response += MESSAGE_OVERHEAD_BYTES
+            elif wr.opcode == AM_SEND:
+                am_count += 1
+                # the handler's reply carries its declared response bytes
+                response += wr.resp_size + MESSAGE_OVERHEAD_BYTES
             else:
                 # READ response carries the data; atomics return 8 bytes
                 response += wr.size + MESSAGE_OVERHEAD_BYTES
+        if 0 < am_count < len(wrs):
+            # The responder routes whole batches: an active message rides
+            # alone or with other AMs, never mixed with one-sided verbs.
+            raise ValueError("AM_SEND cannot share a batch with one-sided WRs")
         #: wire messages this batch issues; == len(wrs) unless RDMAbox
         #: request merging fused adjacent WRs (``RnicConfig.merge_wrs``)
         self.wire_wrs = len(wrs)
-        if qp.context.device.config.merge_wrs and len(wrs) > 1:
+        if qp.context.device.config.merge_wrs and len(wrs) > 1 and not am_count:
             groups = plan_merges(wrs)
             if len(groups) < len(wrs):
                 self.wire_wrs = len(groups)

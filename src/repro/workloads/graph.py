@@ -1,0 +1,184 @@
+"""Seeded graph generators for the near-memory offload workload.
+
+Two families, both deterministic functions of their spec:
+
+* **uniform** — each directed edge picks its endpoints uniformly; degree
+  distribution is tightly concentrated around the edge factor.
+* **R-MAT** — the recursive-matrix generator (Chakrabarti et al.), the
+  Graph500 kernel's skewed family: a ``skew`` knob in ``[0, 1)`` steers
+  probability mass into the top-left quadrant, producing power-law-ish
+  in-degrees whose hubs are what make one-sided CAS accumulation burn
+  retries at high contention.
+
+Invariants the generators guarantee (property-tested in
+``tests/test_graph_properties.py``):
+
+* no self-loops, no duplicate edges;
+* adjacency lists sorted ascending;
+* bit-identical output for a fixed spec (all randomness flows through
+  one seeded ``random.Random``);
+* generation is independent of any blade partitioning — layout is a
+  pure function of the vertex id (see :func:`vertex_owner`), so the
+  blade-resident bytes of a vertex do not depend on how many blades the
+  graph is spread across.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from dataclasses import dataclass, replace
+from typing import List
+
+_U64 = struct.Struct("<Q")
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """One reproducible graph instance."""
+
+    name: str
+    vertex_count: int
+    degree: int
+    """Edge factor: directed edge count targets ``vertex_count * degree``."""
+    kind: str = "uniform"
+    """``"uniform"`` or ``"rmat"``."""
+    skew: float = 0.0
+    """R-MAT skew in ``[0, 1)``; ignored by the uniform family."""
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.vertex_count < 2:
+            raise ValueError("need at least 2 vertices")
+        if self.degree < 1:
+            raise ValueError("degree must be positive")
+        if self.kind not in ("uniform", "rmat"):
+            raise ValueError(f"kind must be uniform or rmat, got {self.kind!r}")
+        if not 0.0 <= self.skew < 1.0:
+            raise ValueError("skew must lie in [0, 1)")
+
+    def with_skew(self, skew: float) -> "GraphSpec":
+        kind = "rmat" if skew > 0.0 else "uniform"
+        return replace(self, kind=kind, skew=skew)
+
+
+def rmat_quadrants(skew: float):
+    """The (a, b, c, d) quadrant probabilities for one skew setting.
+
+    ``skew=0`` degenerates to the uniform matrix (0.25 each);
+    increasing skew moves mass into quadrant ``a`` (hub-hub edges), the
+    classic Graph500 parameterization direction (a=0.57 at skew≈0.64).
+    """
+    a = 0.25 + 0.5 * skew
+    rest = 1.0 - a
+    b = c = rest * 0.35
+    d = rest * 0.30
+    return a, b, c, d
+
+
+def _rmat_endpoint_pair(rng: random.Random, scale: int, a: float, b: float, c: float):
+    src = dst = 0
+    for _ in range(scale):
+        src <<= 1
+        dst <<= 1
+        r = rng.random()
+        if r < a:
+            pass
+        elif r < a + b:
+            dst |= 1
+        elif r < a + b + c:
+            src |= 1
+        else:
+            src |= 1
+            dst |= 1
+    return src, dst
+
+
+def generate(spec: GraphSpec) -> List[List[int]]:
+    """Adjacency lists (sorted, deduplicated, loop-free) for ``spec``.
+
+    The target edge count is ``vertex_count * degree``; dense or highly
+    skewed specs may saturate below it (duplicates are discarded), so
+    generation stops after a bounded number of attempts rather than
+    looping forever on a small vertex set.
+    """
+    n = spec.vertex_count
+    target = n * spec.degree
+    rng = random.Random((spec.seed << 20) ^ (n << 4) ^ spec.degree)
+    edges = set()
+    if spec.kind == "uniform":
+        attempts = 0
+        while len(edges) < target and attempts < 12 * target:
+            attempts += 1
+            src = rng.randrange(n)
+            dst = rng.randrange(n)
+            if src != dst:
+                edges.add((src, dst))
+    else:
+        a, b, c, _d = rmat_quadrants(spec.skew)
+        scale = max(1, (n - 1).bit_length())
+        side = 1 << scale
+        attempts = 0
+        # Oversampling bound: the recursive matrix lands outside [0, n)
+        # for non-power-of-two n, and hub collisions discard duplicates.
+        while len(edges) < target and attempts < 24 * target:
+            attempts += 1
+            src, dst = _rmat_endpoint_pair(rng, scale, a, b, c)
+            if src >= n or dst >= n or src == dst:
+                continue
+            edges.add((src, dst))
+        del side
+    adjacency: List[List[int]] = [[] for _ in range(n)]
+    for src, dst in sorted(edges):
+        adjacency[src].append(dst)
+    return adjacency
+
+
+def edge_count(adjacency: List[List[int]]) -> int:
+    return sum(len(neighbors) for neighbors in adjacency)
+
+
+def in_degrees(adjacency: List[List[int]]) -> List[int]:
+    degrees = [0] * len(adjacency)
+    for neighbors in adjacency:
+        for dst in neighbors:
+            degrees[dst] += 1
+    return degrees
+
+
+def top_share(degrees: List[int], fraction: float = 0.05) -> float:
+    """Share of all edges owned by the top ``fraction`` of vertices —
+    the skew statistic the property tests and the sweep report."""
+    total = sum(degrees)
+    if total == 0:
+        return 0.0
+    top = max(1, int(len(degrees) * fraction))
+    return sum(sorted(degrees, reverse=True)[:top]) / total
+
+
+def vertex_owner(vertex: int, memory_blades: int) -> int:
+    """Blade index owning ``vertex`` (round-robin by id).
+
+    A pure function of the vertex id so a vertex's blade-resident bytes
+    are identical no matter how many blades share the graph."""
+    return vertex % memory_blades
+
+
+def vertex_bytes(vertex: int, adjacency: List[List[int]]) -> bytes:
+    """The blade-resident encoding of one vertex's adjacency: an 8-byte
+    degree followed by the sorted neighbor ids as u64s.  This is the
+    partition-independence contract: the bytes depend only on the
+    vertex and the graph, never on the blade layout."""
+    neighbors = adjacency[vertex]
+    return _U64.pack(len(neighbors)) + b"".join(_U64.pack(v) for v in neighbors)
+
+
+def checksum_u64s(values) -> int:
+    """FNV-1a over a sequence of ints — the bit-equality fingerprint the
+    differential tests compare across execution modes."""
+    acc = 0xCBF29CE484222325
+    for value in values:
+        for byte in _U64.pack(value & 0xFFFFFFFFFFFFFFFF):
+            acc ^= byte
+            acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return acc

@@ -41,6 +41,19 @@ class TestMicroExperiments:
         assert pinned[7] > 0  # seq access merges at every ratio
         assert odp[2] < pinned[2]  # faulting costs throughput
 
+    def test_offload(self):
+        result = exp.offload_sweep(skews=(0.0, 0.6), chunks=(16,),
+                                   vertices=64, degree=4)
+        assert result.headers[0] == "skew"
+        assert len(result.rows) == 6  # 2 skews x 3 modes, one chunk
+        for skew in (0.0, 0.6):
+            by_mode = {row[1]: row for row in result.rows if row[0] == skew}
+            # Differential invariant: one checksum across all modes.
+            assert len({row[-1] for row in by_mode.values()}) == 1
+            assert by_mode["onesided"][5] > 0  # wasted_iops column
+            assert by_mode["offload"][5] == 0
+            assert by_mode["offload"][6] > 0  # am_msgs column
+
 
 class TestHashTableExperiments:
     def test_fig5(self):
@@ -95,7 +108,7 @@ class TestRegistry:
         assert set(exp.ALL_EXPERIMENTS) == {
             "fig3", "fig4", "fig5", "fig7", "fig8", "fig9",
             "fig10", "fig11", "fig12", "fig13", "table1", "fig14",
-            "latency_throughput", "resharding", "chaos", "odp",
+            "latency_throughput", "resharding", "chaos", "odp", "offload",
         }
 
     def test_grid_switch(self, monkeypatch):

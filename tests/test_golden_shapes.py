@@ -57,3 +57,62 @@ def test_fig4_deep_queues_lose_half_the_throughput():
     assert deep.throughput_mops / shallow.throughput_mops == pytest.approx(
         0.511, abs=0.005
     )
+
+
+# -- near-memory offload crossover (offload experiment) ------------------------
+
+
+def graph_point(mode, **overrides):
+    from repro.bench.graph_runner import run_graph
+
+    kw = dict(
+        mode=mode, algo="bfs", vertices=96, degree=4, skew=0.6,
+        seed=3, chunk=16,
+    )
+    kw.update(overrides)
+    return run_graph(**kw)
+
+
+def test_offload_eliminates_wasted_cas_at_high_skew():
+    """The headline shape: one-sided BFS burns hundreds of failed CAS
+    claims on the hub vertices of a skew-0.6 R-MAT graph; pushing the
+    claim loop to the blade eliminates them entirely and finishes an
+    order of magnitude sooner — for the bit-identical answer."""
+    onesided = graph_point("onesided")
+    offload = graph_point("offload")
+    assert onesided.elapsed_ns == pytest.approx(398917.0)
+    assert onesided.wasted_iops == 292
+    assert offload.elapsed_ns == pytest.approx(32601.0)
+    assert offload.wasted_iops == 0
+    assert offload.elapsed_ns * 10 < onesided.elapsed_ns
+    assert onesided.levels_checksum == offload.levels_checksum
+    assert onesided.visited == offload.visited == 83
+
+
+def test_rpc_trades_cas_waste_for_message_count():
+    """Per-edge RPC also avoids CAS retries, but pays one round trip per
+    edge: no wasted IOPS, yet the slowest of the three modes."""
+    onesided = graph_point("onesided")
+    rpc = graph_point("rpc")
+    assert rpc.wasted_iops == 0
+    assert rpc.am_messages == 375
+    assert rpc.elapsed_ns == pytest.approx(459473.0)
+    assert rpc.elapsed_ns > onesided.elapsed_ns
+    assert rpc.levels_checksum == onesided.levels_checksum
+
+
+def test_wimpy_core_slowdown_crossover():
+    """Offload only wins while the blade core is fast enough: the
+    advantage shrinks monotonically with ``offload_slowdown`` and flips
+    past the crossover (a 400x wimpy core loses to one-sided CAS).  The
+    answer never changes — only the clock does."""
+    onesided = graph_point("onesided")
+    fast = graph_point("offload", offload_slowdown=3.0)
+    mid = graph_point("offload", offload_slowdown=120.0)
+    slow = graph_point("offload", offload_slowdown=400.0)
+    assert fast.elapsed_ns == pytest.approx(32601.0)
+    assert mid.elapsed_ns == pytest.approx(181361.0)
+    assert slow.elapsed_ns == pytest.approx(543393.0)
+    assert fast.elapsed_ns < mid.elapsed_ns < slow.elapsed_ns
+    assert fast.elapsed_ns < onesided.elapsed_ns < slow.elapsed_ns
+    assert len({r.levels_checksum for r in (onesided, fast, mid, slow)}) == 1

@@ -1,0 +1,144 @@
+"""Property tests for the seeded graph generators.
+
+These pin the generator invariants the differential harness leans on:
+determinism under a fixed spec, structural hygiene (no self-loops or
+duplicate edges, sorted adjacency), the skew knob actually skewing the
+in-degree distribution, and partition-independence — a vertex's
+blade-resident bytes are a pure function of the vertex, never of the
+blade count it happens to be spread across.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.graph import (
+    GraphSpec,
+    checksum_u64s,
+    edge_count,
+    generate,
+    in_degrees,
+    rmat_quadrants,
+    top_share,
+    vertex_bytes,
+    vertex_owner,
+)
+
+# Keep per-example graphs small; the properties are size-independent.
+SPECS = st.builds(
+    GraphSpec,
+    name=st.just("prop"),
+    vertex_count=st.integers(min_value=2, max_value=96),
+    degree=st.integers(min_value=1, max_value=8),
+    kind=st.sampled_from(["uniform", "rmat"]),
+    skew=st.floats(min_value=0.0, max_value=0.95, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+RELAXED = settings(max_examples=40, deadline=None)
+
+
+@given(spec=SPECS)
+@RELAXED
+def test_generation_is_deterministic(spec):
+    first = generate(spec)
+    second = generate(spec)
+    assert first == second
+
+
+@given(spec=SPECS)
+@RELAXED
+def test_no_self_loops_no_duplicates_sorted(spec):
+    adjacency = generate(spec)
+    assert len(adjacency) == spec.vertex_count
+    for v, neighbors in enumerate(adjacency):
+        assert v not in neighbors, f"self-loop at {v}"
+        assert len(set(neighbors)) == len(neighbors), f"duplicate edge at {v}"
+        assert neighbors == sorted(neighbors)
+        for dst in neighbors:
+            assert 0 <= dst < spec.vertex_count
+
+
+@given(spec=SPECS)
+@RELAXED
+def test_edge_count_near_target(spec):
+    adjacency = generate(spec)
+    edges = edge_count(adjacency)
+    target = spec.vertex_count * spec.degree
+    # Dedup can only remove edges, and the simple-graph ceiling caps the
+    # total; the generator never fabricates extras.
+    assert 0 < edges <= min(target, spec.vertex_count * (spec.vertex_count - 1))
+    assert edges == sum(in_degrees(adjacency))
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    skew=st.floats(min_value=0.55, max_value=0.9, allow_nan=False),
+)
+@settings(max_examples=20, deadline=None)
+def test_skew_concentrates_in_degrees(seed, skew):
+    """High-skew R-MAT puts a larger share of in-edges on the top
+    vertices than the uniform family does for the same size/seed."""
+    base = GraphSpec(name="skewed", vertex_count=128, degree=6, seed=seed)
+    uniform = top_share(in_degrees(generate(base)))
+    skewed = top_share(in_degrees(generate(base.with_skew(skew))))
+    assert skewed > uniform
+
+
+@given(
+    spec=SPECS,
+    blades_a=st.integers(min_value=1, max_value=6),
+    blades_b=st.integers(min_value=1, max_value=6),
+)
+@RELAXED
+def test_partition_independence(spec, blades_a, blades_b):
+    """The bytes a vertex contributes to its blade never depend on the
+    blade count, and ownership is a pure modulo of the vertex id."""
+    adjacency = generate(spec)
+    for v in range(spec.vertex_count):
+        assert vertex_bytes(v, adjacency) == vertex_bytes(v, adjacency)
+        assert vertex_owner(v, blades_a) == v % blades_a
+        assert vertex_owner(v, blades_b) == v % blades_b
+    # Same adjacency -> same canonical bytes regardless of layout.
+    flat = [w for neighbors in adjacency for w in neighbors]
+    assert checksum_u64s(flat) == checksum_u64s(list(flat))
+
+
+def test_rmat_quadrants_degenerate_to_uniform_at_zero_skew():
+    a, b, c, d = rmat_quadrants(0.0)
+    assert a == pytest.approx(0.25)
+    assert a + b + c + d == pytest.approx(1.0)
+    a_hi, *_ = rmat_quadrants(0.8)
+    assert a_hi > a
+
+
+@pytest.mark.parametrize("blades", [1, 2, 3, 5])
+def test_server_layout_matches_partition_contract(blades):
+    """End-to-end partition-independence: loading the same graph across
+    different blade counts stores identical per-vertex state."""
+    from repro.apps.graph.server import GraphServer
+    from repro.cluster import Cluster
+
+    spec = GraphSpec(name="layout", vertex_count=40, degree=4,
+                     kind="rmat", skew=0.5, seed=9)
+    adjacency = generate(spec)
+    cluster = Cluster()
+    nodes = [cluster.add_node() for _ in range(blades)]
+    server = GraphServer(nodes, adjacency=adjacency)
+    meta = server.meta()
+    for v in range(spec.vertex_count):
+        ordinal = meta.owner(v)
+        node = nodes[ordinal]
+        base = meta.index_bases[ordinal] + 16 * meta.local(v)
+        degree = node.storage.read_u64(base)
+        cursor = node.storage.read_u64(base + 8)
+        assert degree == len(adjacency[v])
+        stored = [
+            node.storage.read_u64(cursor + 8 * i) for i in range(degree)
+        ]
+        assert stored == adjacency[v]
+    assert server.visited_count() == 0
+    assert server.free_regions() > 0
